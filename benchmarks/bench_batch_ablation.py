@@ -1,0 +1,26 @@
+"""BATCH — batch-size ablation (§VI-B).
+
+Paper claim: batch size 800 "offers the highest throughput without
+diminishing the quality of service".  The sweep shows the two sides:
+throughput gains flatten past ~800 (per-instance fixed costs are already
+amortised) while batch fill time — the latency clients pay before their
+transaction even enters consensus — keeps growing linearly.
+"""
+
+from repro.harness.experiments import batch_ablation, format_rows
+
+from conftest import run_once, banner
+
+
+def test_batch_ablation(benchmark):
+    rows = run_once(
+        benchmark, batch_ablation, (1, 50, 100, 200, 400, 800, 1600, 3200)
+    )
+    banner("BATCH — batch-size sweep at n=100", format_rows(rows))
+    by_batch = {r["batch"]: r for r in rows}
+    # Throughput rises steeply up to the knee...
+    assert by_batch[800]["lyra_ktps"] > 5 * by_batch[1]["lyra_ktps"]
+    # ...then flattens (less than 50% more for 4x the batch)...
+    assert by_batch[3200]["lyra_ktps"] < 1.5 * by_batch[800]["lyra_ktps"]
+    # ...while the QoS proxy (fill time) keeps growing linearly.
+    assert by_batch[3200]["batch_fill_ms"] == 4 * by_batch[800]["batch_fill_ms"]

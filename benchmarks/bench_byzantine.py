@@ -1,0 +1,52 @@
+"""BYZ — Byzantine behaviours (§VI-D) and censorship resistance (§V-E).
+
+One Byzantine replica per run against a 4-node Lyra cluster: equivocation,
+silent/partial proposals, flooding, future-sequence memory attacks, and
+prefix stalling.  Expected: the cluster stays safe and live in every case.
+
+The censorship comparison pits a certificate-dropping HotStuff leader
+(Pompē) against leaderless Lyra: the Pompē victim starves; Lyra's commits
+for the same victim proceed.
+"""
+
+from repro.harness.experiments import (
+    byzantine_behaviours,
+    censorship_comparison,
+    format_rows,
+)
+
+from conftest import run_once, banner
+
+
+def test_byzantine_behaviours(benchmark):
+    rows = run_once(benchmark, byzantine_behaviours)
+    banner("BYZ — one Byzantine replica per run (Lyra, n=4)", format_rows(rows))
+    for row in rows:
+        assert row["safety_violation"] is None, row
+        assert row["live"], row
+    by_case = {r["case"]: r for r in rows}
+    assert by_case["future-sequence"]["rejected"] > 0  # mitigation fires
+
+
+def test_warmup_bias_recovery(benchmark):
+    """§VI-D's network adversary: biased warm-up measurements get the
+    victim's proposals rejected, then re-probing recovers them post-GST."""
+    from repro.harness.byzantine_runner import run_warmup_bias_case
+
+    row = run_once(benchmark, run_warmup_bias_case)
+    banner("BYZ — adversarial warm-up bias (recovery after GST)", format_rows([row]))
+    assert row["safety_violation"] is None
+    assert row["live_after_gst"]
+
+
+def test_censorship_comparison(benchmark):
+    rows = run_once(benchmark, censorship_comparison)
+    banner("BYZ — censoring leader (Pompē) vs leaderless Lyra", format_rows(rows))
+    pompe = next(r for r in rows if r["system"].startswith("pompe"))
+    fino = next(r for r in rows if r["system"].startswith("fino"))
+    lyra = next(r for r in rows if r["system"] == "lyra")
+    assert pompe["victim_completed"] == 0 and pompe["certs_censored"] > 0
+    # Fino's leader is BLIND (commit-reveal) yet still censors by proposer:
+    # obfuscation alone is not order fairness (§I).
+    assert fino["victim_completed"] == 0 and fino["certs_censored"] > 0
+    assert lyra["victim_completed"] > 0

@@ -1,0 +1,33 @@
+"""FIG2 — commit latency vs cluster size (paper Fig. 2).
+
+Message-level measurement of client-perceived commit latency for Lyra and
+Pompē on the Oregon/Ireland/Sydney topology.  Paper shape: Lyra stays flat
+and sub-second; Pompē costs roughly 2x more rounds, with the gap widening
+at scale (leader relay + quadratic verification).
+
+Quick mode sweeps n ∈ {4, 7, 10}; ``REPRO_FULL=1`` sweeps the paper's
+n ∈ {5, 10, 16, 31, 61, 100} (several minutes).
+"""
+
+from repro.harness.experiments import (
+    fig2_commit_latency,
+    format_rows,
+    node_counts,
+)
+
+from conftest import run_once, banner
+
+
+def test_fig2_commit_latency(benchmark):
+    ns = node_counts()
+    rows = run_once(benchmark, fig2_commit_latency, ns)
+    banner("FIG 2 — commit latency vs n (ms)", format_rows(rows))
+    for row in rows:
+        assert row["lyra_safety"] is None and row["pompe_safety"] is None
+        # Lyra: sub-second average commit latency at every scale (§VI-C).
+        assert row["lyra_latency_ms"] < 1000.0
+        # Pompē never meaningfully beats Lyra, and costs more rounds.
+        assert row["ratio"] > 0.85
+    # Lyra latency "relatively stable when increasing the number of nodes".
+    lyra = [r["lyra_latency_ms"] for r in rows]
+    assert max(lyra) < 1.6 * min(lyra)

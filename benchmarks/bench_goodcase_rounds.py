@@ -1,0 +1,23 @@
+"""LAT3 — good-case latency in message delays (§III, Theorem 3).
+
+Single instance on a uniform-latency network: Lyra's BOC must decide in 3
+message delays (the proven-optimal bound); Pompē needs ~11 (ordering
+quorum + relay + three HotStuff phases + decide + watermark release, [31]).
+"""
+
+from repro.harness.experiments import format_rows, goodcase_latency_rounds
+
+from conftest import run_once, banner
+
+
+def test_goodcase_rounds(benchmark):
+    row = run_once(benchmark, goodcase_latency_rounds, 4)
+    banner("LAT3 — good-case message delays", format_rows([row]))
+    assert 2.9 <= row["lyra_decide_rounds"] <= 3.2
+    assert 9.0 <= row["pompe_commit_rounds"] <= 13.0
+
+
+def test_goodcase_rounds_seven_nodes(benchmark):
+    row = run_once(benchmark, goodcase_latency_rounds, 7)
+    banner("LAT3 — good-case message delays (n=7)", format_rows([row]))
+    assert 2.9 <= row["lyra_decide_rounds"] <= 3.2

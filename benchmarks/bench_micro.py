@@ -1,0 +1,99 @@
+"""MICRO — substrate micro-benchmarks (pytest-benchmark statistics).
+
+These time the Python implementation itself (events/s, crypto ops/s) —
+useful for knowing how much virtual time a given wall-clock budget buys,
+and for catching performance regressions in the simulator's hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.feldman import FeldmanVSS
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.shamir import reconstruct_secret, split_secret
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.crypto.vss_encryption import VssScheme
+from repro.crypto.hashing import digest_of
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+RNG = RngRegistry(31).get("bench")
+
+
+class TestEngine:
+    def test_event_throughput(self, benchmark):
+        def run_10k_events():
+            sim = Simulator()
+
+            def chain(remaining):
+                if remaining:
+                    sim.schedule(1, lambda: chain(remaining - 1))
+
+            chain(10_000)
+            sim.run()
+            return sim.events_processed
+
+        assert benchmark(run_10k_events) == 10_000
+
+    def test_heap_with_cancellations(self, benchmark):
+        def run():
+            sim = Simulator()
+            events = [sim.schedule(i % 97, lambda: None) for i in range(5000)]
+            for e in events[::2]:
+                e.cancel()
+            sim.run()
+
+        benchmark(run)
+
+
+class TestCrypto:
+    def test_shamir_split(self, benchmark):
+        benchmark(lambda: split_secret(123456789, 67, 100, RNG))
+
+    def test_shamir_reconstruct(self, benchmark):
+        shares = split_secret(123456789, 21, 31, RNG)
+        benchmark(lambda: reconstruct_secret(shares[:21], 21))
+
+    def test_feldman_deal_and_verify(self, benchmark):
+        vss = FeldmanVSS()
+
+        def deal_verify():
+            shares, com = vss.deal(42, 7, 10, RNG)
+            return all(vss.verify_share(s, com) for s in shares)
+
+        assert benchmark(deal_verify)
+
+    def test_vss_encrypt(self, benchmark):
+        scheme = VssScheme(7, 10, seed=1)
+        payload = b"x" * 800 * 32  # a full paper-size batch
+        benchmark(lambda: scheme.encrypt(payload, RNG))
+
+    def test_vss_decrypt(self, benchmark):
+        scheme = VssScheme(7, 10, seed=1)
+        cipher = scheme.encrypt(b"y" * 1024, RNG)
+        shares = [scheme.partial_decrypt(cipher, i) for i in range(7)]
+        benchmark(lambda: scheme.decrypt(cipher, shares))
+
+    def test_sign_verify(self, benchmark):
+        registry = KeyRegistry(1)
+        signer = registry.signer(0)
+
+        def roundtrip():
+            sig = signer.sign(("batch", 1))
+            return registry.verify(("batch", 1), sig, 0)
+
+        assert benchmark(roundtrip)
+
+    def test_threshold_combine(self, benchmark):
+        scheme = ThresholdScheme(21, 31, seed=1)
+        shares = [scheme.share_signer(i).share_sign("m") for i in range(21)]
+        benchmark(lambda: scheme.combine("m", shares))
+
+    def test_merkle_build_1000(self, benchmark):
+        leaves = [digest_of(i) for i in range(1000)]
+        benchmark(lambda: MerkleTree(leaves).root)
+
+    def test_canonical_digest(self, benchmark):
+        value = {"iid": (3, 17), "preds": tuple(range(100)), "tag": b"x" * 32}
+        benchmark(lambda: digest_of(value))

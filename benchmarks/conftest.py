@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every paper artefact (DESIGN.md §4) has one bench module that regenerates
+its rows and prints them.  Set ``REPRO_FULL=1`` for the paper's full node
+counts (n up to 100; minutes of wall-clock per figure)."""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment functions are multi-second simulations; statistical
+    repetition adds nothing (they are deterministic) and would multiply
+    wall-clock cost.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def banner(title: str, body: str) -> None:
+    line = "=" * max(len(title) + 4, 40)
+    print(f"\n{line}\n  {title}\n{line}\n{body}\n")
+
+
+@pytest.fixture
+def report():
+    """Print a labelled experiment table after the bench body runs."""
+    return banner

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""MEV quantified: a sandwich attack on an AMM, priced under both orders.
+
+The paper's introduction motivates Lyra with the hundreds of millions of
+dollars extracted by transaction reordering.  This example makes that
+concrete on a constant-product AMM:
+
+1. Alice submits a large BUY (price-moving).
+2. Under a clear-text protocol (Pompē's ordering phase), Mallory sees the
+   order before it is sequenced and wraps it: her own BUY lands *before*
+   Alice (cheap), her SELL lands *after* (expensive) — the classic
+   sandwich.  We replay both committed orders through the pool and report
+   her mark-to-market profit.
+3. Under Lyra the sandwich cannot be constructed: Alice's payload is
+   encrypted until her position in the committed order is immutable.  The
+   best Mallory can do is trade after the reveal — we price that too.
+
+Run:  python examples/amm_sandwich.py
+"""
+
+from repro.core.types import Transaction
+from repro.workload.amm import (
+    BUY,
+    SELL,
+    ConstantProductAmm,
+    encode_swap,
+)
+
+ALICE, MALLORY = 1, 666
+POOL = dict(reserve_x=1_000_000, reserve_y=1_000_000, fee_bps=30)
+
+
+def show_run(title: str, order) -> float:
+    pool = ConstantProductAmm(**POOL)
+    print(f"\n{title}")
+    print(f"  start price: {pool.price:.4f} X/Y")
+    for tx in order:
+        result = pool.apply_transaction(tx)
+        who = "Alice  " if tx.client_id == ALICE else "Mallory"
+        side = "BUY " if result.direction == BUY else "SELL"
+        print(
+            f"  {who} {side} in={result.amount_in:>7} out={result.amount_out:>7}"
+            f"  price {result.price_before:.4f} → {result.price_after:.4f}"
+        )
+    value = pool.net_value(MALLORY)
+    print(f"  Mallory net position value: {value:+.1f} X")
+    return value
+
+
+def main() -> None:
+    alice_buy = Transaction(ALICE, 0, encode_swap(BUY, 100_000))
+    front_buy = Transaction(MALLORY, 0, encode_swap(BUY, 50_000))
+    back_sell = Transaction(MALLORY, 1, encode_swap(SELL, 49_264))  # what the front bought
+
+    sandwiched = show_run(
+        "Clear-text ordering (Pompē): Mallory sandwiches Alice",
+        [front_buy, alice_buy, back_sell],
+    )
+    blind = show_run(
+        "Commit-reveal ordering (Lyra): Mallory reacts only after commit",
+        [alice_buy, front_buy, back_sell],
+    )
+
+    print("\n--- summary -------------------------------------------")
+    print(f"Mallory's profit with the sandwich : {sandwiched:+.1f} X")
+    print(f"Mallory's result when blind (Lyra) : {blind:+.1f} X")
+    print(f"MEV extracted by reordering        : {sandwiched - blind:+.1f} X")
+    assert sandwiched > 0 > blind or sandwiched > blind
+    print(
+        "\nLyra removes the information channel the sandwich needs: payloads"
+        "\nare revealed only once their position in the order is locked."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Byzantine resilience walk-through (§VI-D and §V-E).
+
+Runs a 4-node Lyra cluster six times, each with one replica misbehaving in
+a different way — equivocation, partial dissemination, flooding, future
+sequence numbers, prefix stalling — and verifies safety and liveness every
+time.  Then contrasts leader censorship: a Byzantine HotStuff leader
+silently starves a victim's certificates in Pompē, while leaderless Lyra
+keeps serving the same victim.
+
+Run:  python examples/byzantine_resilience.py
+"""
+
+from repro.harness.experiments import (
+    byzantine_behaviours,
+    censorship_comparison,
+    format_rows,
+)
+
+
+def main() -> None:
+    print("One Byzantine replica per run (Lyra, n = 4, f = 1):\n")
+    rows = byzantine_behaviours()
+    print(format_rows(rows))
+    assert all(r["safety_violation"] is None and r["live"] for r in rows)
+    print(
+        "\nEvery case: SMR safety holds and correct clients keep committing."
+        "\n- equivocator / silent-proposer: their instances resolve to reject"
+        "\n  (VVB-Unicity / expiration timers), honest traffic unaffected;"
+        "\n- flooder: extra instances commit but do not stall honest ones;"
+        "\n- future-sequence: the acceptance-window mitigation rejects them;"
+        "\n- prefix-staller: the top-(2f+1) selection rule ignores low-balls."
+    )
+
+    print("\nCensorship: Byzantine leader (Pompē) vs leaderless Lyra:\n")
+    rows = censorship_comparison()
+    print(format_rows(rows))
+    pompe = next(r for r in rows if r["system"].startswith("pompe"))
+    lyra = next(r for r in rows if r["system"] == "lyra")
+    print(
+        f"\nPompē's leader dropped {pompe['certs_censored']} certificates: the"
+        f" victim completed {pompe['victim_completed']} transactions."
+        f"\nLyra has no leader to bribe: the same victim completed"
+        f" {lyra['victim_completed']}."
+    )
+
+
+if __name__ == "__main__":
+    main()

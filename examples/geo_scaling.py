@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Geo-distributed scaling: regenerate the shape of Figures 2 and 3.
+
+Runs message-level latency measurements for small clusters (and the
+paper's node counts when ``REPRO_FULL=1``) plus the capacity-model
+throughput sweep over the full n ∈ {5, 10, 16, 31, 61, 100}.
+
+Run:  python examples/geo_scaling.py
+      REPRO_FULL=1 python examples/geo_scaling.py   # paper-scale (slow)
+"""
+
+import os
+
+from repro.harness.experiments import (
+    fig2_commit_latency,
+    fig3_throughput,
+    format_rows,
+    goodcase_latency_rounds,
+    node_counts,
+)
+
+
+def main() -> None:
+    print("Good-case latency in message delays (Theorem 3: Lyra = 3):")
+    print(format_rows([goodcase_latency_rounds()]))
+
+    ns = node_counts()
+    print(f"\nFig. 2 — commit latency vs n (message-level, n ∈ {ns}):")
+    print(format_rows(fig2_commit_latency(ns)))
+
+    print("\nFig. 3 — saturation throughput vs n (capacity model):")
+    rows = fig3_throughput()
+    print(format_rows(rows))
+    from repro.metrics.ascii_chart import chart_fig3
+
+    print()
+    print(chart_fig3(rows))
+
+    by_n = {r["n"]: r for r in rows}
+    print(
+        f"\nAt n = 100: Lyra {by_n[100]['lyra_ktps']:.0f}k tx/s vs "
+        f"Pompē {by_n[100]['pompe_ktps']:.0f}k tx/s "
+        f"→ {by_n[100]['ratio']:.1f}x (paper: up to 7x; Lyra bound: "
+        f"{by_n[100]['lyra_bound']})"
+    )
+    if not os.environ.get("REPRO_FULL"):
+        print("\n(set REPRO_FULL=1 to sweep the paper's node counts end to end)")
+
+
+if __name__ == "__main__":
+    main()

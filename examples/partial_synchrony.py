@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Partial synchrony in action: asynchrony, partitions, and GST (§II-A).
+
+Three runs of the same 4-node Lyra cluster:
+
+1. a synchronous baseline;
+2. an adversary delaying arbitrary messages (up to 400 ms) until GST = 2 s
+   — safety holds throughout, commits flow once the network stabilises;
+3. a 2–2 network partition healing at t = 3 s — neither side holds a
+   2f+1 quorum, so *nothing* commits during the split (and nothing
+   unsafe happens), then both sides converge on one log.
+
+Run:  python examples/partial_synchrony.py
+"""
+
+from repro.harness import ExperimentConfig, build_lyra_cluster
+from repro.net.adversary import PartialSynchronyAdversary, PartitionAdversary
+from repro.sim.engine import MILLISECONDS, SECONDS
+from repro.sim.rng import RngRegistry
+
+
+def base_config(seed=71):
+    return ExperimentConfig(
+        n_nodes=4,
+        seed=seed,
+        batch_size=5,
+        clients_per_node=1,
+        client_window=3,
+        duration_us=10 * SECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+
+
+def report(name, cluster, result):
+    logs = [len(n.output_sequence()) for n in cluster.nodes]
+    print(
+        f"{name:<22} committed={result.committed_count:<4} "
+        f"latency={result.avg_latency_ms:7.1f}ms  logs={logs}  "
+        f"safety={'OK' if result.safety_violation is None else 'VIOLATED'}"
+    )
+
+
+def main() -> None:
+    print("Three partial-synchrony regimes, same protocol, same seed:\n")
+
+    cluster = build_lyra_cluster(base_config())
+    report("synchronous", cluster, cluster.run())
+
+    cluster = build_lyra_cluster(base_config())
+    cluster.network.adversary = PartialSynchronyAdversary(
+        2 * SECONDS, max_delay_us=400 * MILLISECONDS, rng=RngRegistry(71)
+    )
+    report("adversary until GST=2s", cluster, cluster.run())
+
+    cluster = build_lyra_cluster(base_config())
+    cluster.network.adversary = PartitionAdversary({0, 1}, heal_at_us=3 * SECONDS)
+    # Peek mid-partition: no quorum, no commits.
+    cluster_nodes = cluster.nodes
+    for node in cluster_nodes:
+        node.start()
+    cluster.sim.run(until=int(2.5 * SECONDS))
+    during = [len(n.output_sequence()) for n in cluster_nodes]
+    print(f"{'2-2 partition @2.5s':<22} committed logs during split: {during}")
+    cluster.sim.run(until=base_config().duration_us)
+    result = cluster.run()  # consolidates measurements (sim already drained)
+    report("partition heals @3s", cluster, result)
+
+    print(
+        "\nTakeaway: Δ only gates the fast path.  Before GST the adversary"
+        "\ncontrols the schedule and Lyra simply waits (safety is"
+        "\nunconditional); after GST the 3-delay pipeline resumes."
+    )
+
+
+if __name__ == "__main__":
+    main()

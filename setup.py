@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables fully offline installs via
+``python setup.py develop`` when pip cannot fetch build dependencies
+(the project metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

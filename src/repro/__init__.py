@@ -1,0 +1,23 @@
+"""repro — a reproduction of Lyra (Zarbafian & Gramoli, IPDPS 2023).
+
+Lyra is a leaderless, order-fair SMR protocol that prevents blockchain
+transaction-reordering attacks (front-running, sandwiching) by combining a
+3-round Byzantine Ordered Consensus with VSS-based commit-reveal.
+
+Package map
+-----------
+- :mod:`repro.sim` — deterministic discrete-event simulation engine.
+- :mod:`repro.net` — WAN latency/bandwidth/partial-synchrony substrate.
+- :mod:`repro.crypto` — signatures, threshold signatures, Shamir/Feldman
+  VSS, commitments, Merkle trees, and the crypto cost model.
+- :mod:`repro.core` — the paper's contribution: VVB, DBFT, Lyra BOC,
+  sequence-number prediction, the Commit protocol, and the full SMR node.
+- :mod:`repro.baselines` — HotStuff and Pompē, reimplemented from scratch.
+- :mod:`repro.attacks` — reordering attacks and Byzantine behaviours.
+- :mod:`repro.workload` — closed-loop clients, transactions, KV execution.
+- :mod:`repro.metrics` — latency/throughput statistics and the capacity
+  model used for large-n throughput extrapolation.
+- :mod:`repro.harness` — experiment runner regenerating every paper figure.
+"""
+
+__version__ = "1.0.0"

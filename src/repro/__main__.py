@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate any paper artefact.
+
+Usage::
+
+    python -m repro fig1            # Fig. 1 front-running attack
+    python -m repro fig2 [n ...]    # Fig. 2 commit latency sweep
+    python -m repro fig3            # Fig. 3 throughput model
+    python -m repro rounds          # good-case message delays (Theorem 3)
+    python -m repro lambda          # λ ablation (§VI-B)
+    python -m repro batch           # batch-size ablation (§VI-B)
+    python -m repro byzantine       # §VI-D behaviours + censorship
+    python -m repro obfuscation     # VSS vs hash commit-reveal
+    python -m repro decomp          # latency decomposition + Δ sensitivity
+    python -m repro report          # write results/results.json + REPORT.md
+    python -m repro all             # everything above (quick mode)
+
+Set ``REPRO_FULL=1`` for the paper's full node counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments as exp
+
+
+def _print(title: str, rows) -> None:
+    print(f"\n## {title}")
+    if isinstance(rows, dict):
+        rows = [rows]
+    print(exp.format_rows(rows))
+
+
+def cmd_fig1(args) -> None:
+    _print("FIG 1 — front-running", exp.fig1_frontrunning())
+
+
+def cmd_fig2(args) -> None:
+    from repro.metrics.ascii_chart import chart_fig2
+
+    ns = [int(x) for x in args.ns] if args.ns else None
+    rows = exp.fig2_commit_latency(ns)
+    _print("FIG 2 — commit latency vs n (ms)", rows)
+    print()
+    print(chart_fig2(rows))
+
+
+def cmd_fig3(args) -> None:
+    from repro.metrics.ascii_chart import chart_fig3
+
+    rows = exp.fig3_throughput()
+    _print("FIG 3 — throughput vs n (k tx/s)", rows)
+    print()
+    print(chart_fig3(rows))
+    _print("FIG 3 — message-level validation (n=4)", exp.fig3_sim_validation())
+
+
+def cmd_rounds(args) -> None:
+    _print("LAT3 — good-case message delays", exp.goodcase_latency_rounds())
+
+
+def cmd_lambda(args) -> None:
+    _print("LAM — lambda sweep", exp.lambda_ablation())
+    _print("LAM — jitter sensitivity", exp.jitter_sensitivity())
+
+
+def cmd_batch(args) -> None:
+    _print("BATCH — batch-size sweep", exp.batch_ablation())
+
+
+def cmd_byzantine(args) -> None:
+    _print("BYZ — Byzantine behaviours", exp.byzantine_behaviours())
+    _print("BYZ — censorship comparison", exp.censorship_comparison())
+
+
+def cmd_obfuscation(args) -> None:
+    _print("OBF — VSS vs hash commit-reveal", exp.obfuscation_ablation())
+
+
+def cmd_decomp(args) -> None:
+    _print("DECOMP — latency phases", exp.latency_breakdown())
+    _print("DECOMP — delta sensitivity", exp.delta_ablation())
+
+
+def cmd_report(args) -> None:
+    from repro.harness.artifacts import generate_report
+
+    generate_report(args.outdir)
+
+
+def cmd_all(args) -> None:
+    cmd_rounds(args)
+    cmd_fig1(args)
+    cmd_fig2(argparse.Namespace(ns=None))
+    cmd_fig3(args)
+    cmd_lambda(args)
+    cmd_batch(args)
+    cmd_byzantine(args)
+    cmd_obfuscation(args)
+    cmd_decomp(args)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Lyra paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig1").set_defaults(fn=cmd_fig1)
+    p2 = sub.add_parser("fig2")
+    p2.add_argument("ns", nargs="*", help="node counts (default: quick sweep)")
+    p2.set_defaults(fn=cmd_fig2)
+    sub.add_parser("fig3").set_defaults(fn=cmd_fig3)
+    sub.add_parser("rounds").set_defaults(fn=cmd_rounds)
+    sub.add_parser("lambda").set_defaults(fn=cmd_lambda)
+    sub.add_parser("batch").set_defaults(fn=cmd_batch)
+    sub.add_parser("byzantine").set_defaults(fn=cmd_byzantine)
+    sub.add_parser("obfuscation").set_defaults(fn=cmd_obfuscation)
+    sub.add_parser("decomp").set_defaults(fn=cmd_decomp)
+    pr = sub.add_parser("report")
+    pr.add_argument("--outdir", default="results")
+    pr.set_defaults(fn=cmd_report)
+    sub.add_parser("all").set_defaults(fn=cmd_all)
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

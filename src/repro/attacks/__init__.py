@@ -1,0 +1,45 @@
+"""Reordering attacks and Byzantine behaviours (§I Fig. 1, §V-E, §VI-D).
+
+- :mod:`repro.attacks.frontrun` — the Fig. 1 triangle-inequality
+  front-running scenario, runnable against Pompē-style clear-text ordering
+  (succeeds) and against Lyra commit-reveal (structurally fails).
+- :mod:`repro.attacks.byzantine` — Byzantine Lyra replicas: equivocating
+  broadcasters, prefix stallers, flooders, future-sequence spammers,
+  silent/partial proposers.
+- :mod:`repro.attacks.pompe_attacks` — Byzantine Pompē participants:
+  the censoring HotStuff leader and the timestamp cherry-picking orderer.
+"""
+
+from repro.attacks.frontrun import (
+    Fig1Scenario,
+    Fig1Outcome,
+    run_fig1_pompe,
+    run_fig1_lyra,
+)
+from repro.attacks.byzantine import (
+    CipherReplayNode,
+    EquivocatingNode,
+    FloodingNode,
+    FutureSequenceNode,
+    PrefixStallerNode,
+    SilentProposerNode,
+)
+from repro.attacks.pompe_attacks import (
+    CensoringLeaderNode,
+    CherryPickingOrdererNode,
+)
+
+__all__ = [
+    "Fig1Scenario",
+    "Fig1Outcome",
+    "run_fig1_pompe",
+    "run_fig1_lyra",
+    "CipherReplayNode",
+    "EquivocatingNode",
+    "FloodingNode",
+    "FutureSequenceNode",
+    "PrefixStallerNode",
+    "SilentProposerNode",
+    "CensoringLeaderNode",
+    "CherryPickingOrdererNode",
+]

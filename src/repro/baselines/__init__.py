@@ -1,0 +1,32 @@
+"""Baselines reimplemented from scratch (§VI compares against Pompē [32]).
+
+- :mod:`repro.baselines.hotstuff` — HotStuff [30]: leader-based 3-phase
+  BFT consensus with threshold-signature quorum certificates, pipelined
+  heights and view changes.  Pompē's consensus substrate.
+- :mod:`repro.baselines.pompe` — Pompē's Byzantine ordered consensus:
+  an ordering phase (2f+1 signed timestamps, median assignment) feeding
+  ordering certificates into HotStuff, with timestamp-ordered execution
+  behind a stability watermark.
+- :mod:`repro.baselines.dbft_binary` — vanilla DBFT binary agreement [8],
+  the primitive Lyra's Algorithm 3 modifies.
+- :mod:`repro.baselines.fino` — Fino-style commit-reveal SMR [23]
+  ("blind order-fairness"): payload obfuscation without leaderlessness.
+"""
+
+from repro.baselines.hotstuff import Block, HotStuffParticipant, QuorumCert
+from repro.baselines.pompe import OrderingCert, PompeConfig, PompeNode
+from repro.baselines.dbft_binary import BinaryAgreement
+from repro.baselines.fino import BlindCensoringLeaderFino, FinoConfig, FinoNode
+
+__all__ = [
+    "Block",
+    "QuorumCert",
+    "HotStuffParticipant",
+    "OrderingCert",
+    "PompeConfig",
+    "PompeNode",
+    "BinaryAgreement",
+    "FinoNode",
+    "FinoConfig",
+    "BlindCensoringLeaderFino",
+]

@@ -1,0 +1,258 @@
+"""Vanilla DBFT binary Byzantine agreement (Crain, Gramoli, Larrea &
+Raynal [8], building on Mostéfaoui, Moumen & Raynal [25]).
+
+This is the *unmodified* primitive that Lyra's Algorithm 3 derives from:
+every process holds its own binary input and they agree on one of them.
+Unlike Lyra's variant there is no broadcaster, no associated message, and
+no validation function — round 1 uses plain Binary Value Broadcast like
+every other round.
+
+Kept in the repository for three reasons: it documents exactly what
+Lyra's VVB substitution changes; it provides an independently tested
+binary-agreement building block; and its agreement/validity/termination
+tests double as a regression harness for the shared round machinery.
+
+Properties (for f < n/3 after GST):
+
+- **BBC-Validity**: the decided value was the input of some correct
+  process (plain BV-broadcast justification).
+- **BBC-Agreement**: no two correct processes decide differently.
+- **BBC-Termination**: every correct process decides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+
+from repro.core.bv_broadcast import BinaryValueBroadcast
+from repro.core.services import ProtocolServices
+
+BA_BV_KIND = "dbft.bv"
+BA_COORD_KIND = "dbft.coord"
+BA_AUX_KIND = "dbft.aux"
+
+DEFAULT_MAX_ROUNDS = 64
+
+
+class BinaryAgreement:
+    """One binary-agreement instance at one process.
+
+    ``propose(b)`` starts the protocol with input ``b``; ``on_decide(v)``
+    fires exactly once.  Message payloads carry ``iid`` so several
+    instances can multiplex one node.
+    """
+
+    def __init__(
+        self,
+        services: ProtocolServices,
+        iid: Any,
+        *,
+        on_decide: Callable[[int], None],
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> None:
+        self.services = services
+        self.iid = iid
+        self._on_decide = on_decide
+        self.max_rounds = max_rounds
+
+        self.round = 0
+        self.est: Optional[int] = None
+        self.decided: Optional[int] = None
+        self.decided_round: Optional[int] = None
+        self.closed = False
+
+        self._bv: Dict[int, BinaryValueBroadcast] = {}
+        self._vvals: Dict[int, Set[int]] = {}
+        self._aux: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        self._coord: Dict[int, int] = {}
+        self._coord_sent: Set[int] = set()
+        self._timer_expired: Set[int] = set()
+        self._aux_sent: Set[int] = set()
+        self._advanced: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def propose(self, b: int) -> None:
+        if b not in (0, 1):
+            raise ValueError("binary agreement takes inputs 0 or 1")
+        if self.est is not None:
+            return
+        self.est = b
+        self._start_round(1)
+
+    # ------------------------------------------------------------------
+    def _bv_for(self, r: int) -> BinaryValueBroadcast:
+        bv = self._bv.get(r)
+        if bv is None:
+            bv = BinaryValueBroadcast(
+                _KindAdapter(self.services), self.iid, r,
+                lambda b, r=r: self._deliver(r, b),
+            )
+            self._bv[r] = bv
+        return bv
+
+    def _start_round(self, r: int) -> None:
+        self.round = r
+        if self.est in (0, 1):
+            self._bv_for(r).broadcast_estimate(self.est)
+        assert self.services.timers is not None
+        self.services.timers.set(
+            f"dbftba-{self.iid}-r{r}",
+            self.services.delta_us,
+            lambda: self._timer(r),
+        )
+        self._maybe_aux(r)
+        self._try_complete(r)
+
+    def _timer(self, r: int) -> None:
+        self._timer_expired.add(r)
+        self._maybe_aux(r)
+
+    def _deliver(self, r: int, b: int) -> None:
+        if self.closed:
+            return
+        vvals = self._vvals.setdefault(r, set())
+        if b in vvals:
+            return
+        vvals.add(b)
+        if (
+            self.services.pid == r % self.services.n
+            and r not in self._coord_sent
+        ):
+            self._coord_sent.add(r)
+            self.services.broadcast(
+                BA_COORD_KIND, {"iid": self.iid, "round": r, "w": b}, 10
+            )
+        self._maybe_aux(r)
+        self._try_complete(r)
+
+    def _maybe_aux(self, r: int) -> None:
+        if self.closed or r != self.round or r in self._aux_sent:
+            return
+        vvals = self._vvals.get(r, set())
+        if not vvals or r not in self._timer_expired:
+            return
+        c = self._coord.get(r)
+        e = frozenset({c}) if c is not None and c in vvals else frozenset(vvals)
+        self._aux_sent.add(r)
+        self.services.broadcast(
+            BA_AUX_KIND,
+            {"iid": self.iid, "round": r, "e": tuple(sorted(e))},
+            10 + 2 * len(e),
+        )
+        self._try_complete(r)
+
+    def _try_complete(self, r: int) -> None:
+        if self.closed or r != self.round or r in self._advanced:
+            return
+        if r not in self._aux_sent:
+            return
+        vvals = self._vvals.get(r, set())
+        bucket = self._aux.get(r, {})
+        eligible = {s: e for s, e in bucket.items() if e <= vvals}
+        if len(eligible) < self.services.quorum:
+            return
+        s: Optional[FrozenSet[int]] = None
+        for v in (1, 0):
+            if (
+                sum(1 for e in eligible.values() if e == frozenset({v}))
+                >= self.services.quorum
+            ):
+                s = frozenset({v})
+                break
+        if s is None:
+            union: Set[int] = set()
+            for e in eligible.values():
+                union |= e
+            s = frozenset(union)
+        if len(s) == 1:
+            (v,) = s
+            self.est = v
+            if v == r % 2 and self.decided is None:
+                self.decided = v
+                self.decided_round = r
+                self._on_decide(v)
+        else:
+            self.est = r % 2
+        self._advanced.add(r)
+        if self.decided_round is not None and r >= self.decided_round + 2:
+            self.close()
+            return
+        if r + 1 > self.max_rounds:
+            self.close()
+            return
+        self._start_round(r + 1)
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def on_bv(self, payload: dict, sender: int) -> None:
+        r = payload.get("round", 0)
+        if isinstance(r, int) and 1 <= r <= self.max_rounds:
+            self._bv_for(r).on_vote(payload.get("b"), sender)
+
+    def on_coord(self, payload: dict, sender: int) -> None:
+        r = payload.get("round", 0)
+        w = payload.get("w")
+        if not isinstance(r, int) or w not in (0, 1):
+            return
+        if sender != r % self.services.n or r in self._coord:
+            return
+        self._coord[r] = w
+        self._maybe_aux(r)
+
+    def on_aux(self, payload: dict, sender: int) -> None:
+        r = payload.get("round", 0)
+        e = payload.get("e")
+        if not isinstance(r, int) or not isinstance(e, (tuple, list)):
+            return
+        eset = frozenset(v for v in e if v in (0, 1))
+        if not eset:
+            return
+        bucket = self._aux.setdefault(r, {})
+        if sender not in bucket:
+            bucket[sender] = eset
+            self._try_complete(r)
+
+    def handle(self, kind: str, payload: dict, sender: int) -> bool:
+        if kind == BA_BV_KIND:
+            self.on_bv(payload, sender)
+        elif kind == BA_COORD_KIND:
+            self.on_coord(payload, sender)
+        elif kind == BA_AUX_KIND:
+            self.on_aux(payload, sender)
+        else:
+            return False
+        return True
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        assert self.services.timers is not None
+        for r in range(1, self.round + 1):
+            self.services.timers.cancel(f"dbftba-{self.iid}-r{r}")
+
+
+class _KindAdapter:
+    """Re-tags BinaryValueBroadcast's ``lyra.bv`` messages as ``dbft.bv``
+    so vanilla agreement traffic does not collide with Lyra instances on
+    the same node."""
+
+    def __init__(self, services: ProtocolServices) -> None:
+        self._services = services
+        self.pid = services.pid
+        self.n = services.n
+        self.f = services.f
+        self.quorum = services.quorum
+        self.small_quorum = services.small_quorum
+
+    def broadcast(self, kind: str, payload, size: int = 0) -> None:
+        self._services.broadcast(BA_BV_KIND, payload, size)
+
+
+__all__ = [
+    "BinaryAgreement",
+    "BA_BV_KIND",
+    "BA_COORD_KIND",
+    "BA_AUX_KIND",
+]

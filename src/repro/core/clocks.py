@@ -1,0 +1,82 @@
+"""Ordering clocks and perceived sequence numbers (§II-D).
+
+Each process owns a local :class:`OrderingClock` returning strictly
+monotonically increasing sequence numbers.  We implement it as the node's
+(skewed, possibly drifting) view of real time in microseconds, with a
+tie-break increment guaranteeing strict monotonicity — the paper notes a
+real-time clock or a counter both qualify.
+
+Clocks are deliberately *not* synchronised (§II-D): each node has a constant
+offset (skew) and an optional rate error (drift).  Constant skew cancels out
+of the distance estimates ``d_ij = seq_j(t) - s_ref`` (§IV-B1); drift does
+not, which the robustness tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.engine import Simulator
+
+
+class OrderingClock:
+    """A strictly monotonic local sequence-number source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        skew_us: int = 0,
+        drift: float = 1.0,
+    ) -> None:
+        if drift <= 0:
+            raise ValueError("clock drift factor must be positive")
+        self._sim = sim
+        self.skew_us = int(skew_us)
+        self.drift = float(drift)
+        self._last: Optional[int] = None
+
+    def read(self) -> int:
+        """Raw clock value (non-mutating; may repeat)."""
+        return int(self._sim.now * self.drift) + self.skew_us
+
+    def now(self) -> int:
+        """Strictly monotonic sequence number: each call exceeds the last."""
+        value = self.read()
+        if self._last is not None and value <= self._last:
+            value = self._last + 1
+        self._last = value
+        return value
+
+
+class PerceivedSequence:
+    """Tracks ``seq_i(t)``: the clock value when a cipher first arrived.
+
+    Definition 3 binds the perceived sequence number to the *first*
+    reception; later duplicates must not move it.
+    """
+
+    def __init__(self, clock: OrderingClock) -> None:
+        self._clock = clock
+        self._perceived: Dict[bytes, int] = {}
+
+    def observe(self, cipher_id: bytes) -> int:
+        """Record (idempotently) and return ``seq_i`` for this cipher."""
+        seq = self._perceived.get(cipher_id)
+        if seq is None:
+            seq = self._clock.now()
+            self._perceived[cipher_id] = seq
+        return seq
+
+    def get(self, cipher_id: bytes) -> Optional[int]:
+        return self._perceived.get(cipher_id)
+
+    def forget(self, cipher_id: bytes) -> None:
+        """Garbage-collect a committed/rejected cipher's record."""
+        self._perceived.pop(cipher_id, None)
+
+    def __len__(self) -> int:
+        return len(self._perceived)
+
+
+__all__ = ["OrderingClock", "PerceivedSequence"]

@@ -1,0 +1,405 @@
+"""The Commit protocol — Algorithm 4 of the paper.
+
+BOC instances decide *accept/reject* per transaction, but partial synchrony
+means a process can accept a transaction whose sequence number is lower
+than transactions it already holds.  The Commit protocol turns the stream
+of accepted transactions into a totally ordered, prefix-stable output:
+
+- every process piggybacks on its broadcasts (line 74):
+  * ``seq_i - L`` — its locally locked prefix (acceptance window; ``L = 3Δ``
+    is the maximum good-case duration of a BOC instance),
+  * ``min-pending`` — the lowest requested sequence number among
+    transactions it has validated but whose instances are still running,
+  * ``A`` — its accepted set (piggybacked incrementally; a Merkle root
+    stands in for older prefixes, §V-C);
+- from the 2f+1 *highest* received values (so Byzantine low-balling cannot
+  stall progress, see the remark after Lemma 5) each process derives
+  ``locked`` (Lemma 4), ``stable`` (Lemma 5) and ``committed`` (Lemma 6)
+  prefix bounds;
+- transactions in a committed prefix are output in sequence-number order,
+  and a VSS decryption share is broadcast for each (commit-reveal,
+  Lemma 7): payloads become readable only after the order is immutable.
+
+The validation function (lines 62-69) — Equation 1 plus the acceptance
+window — also lives here because it owns the pending set ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clocks import OrderingClock, PerceivedSequence
+from repro.core.distance import requested_sequence
+from repro.core.services import ProtocolServices
+from repro.core.types import AcceptedEntry, InstanceId
+from repro.crypto.vss_encryption import DecryptionShare, VssError, VssScheme
+
+#: Sentinel for "no pending transaction" (min over the empty set).
+NO_PENDING = 1 << 62
+
+STATUS_KIND = "lyra.status"
+DSHARE_KIND = "lyra.dshare"
+
+
+@dataclass
+class CommitConfig:
+    """Tunables of the validation function and commit protocol."""
+
+    #: Security parameter λ of Equation 1, in µs (§VI-B: 5 ms on AWS).
+    lambda_us: int = 5_000
+    #: Maximum BOC latency L (acceptance window).  ``None`` → 3Δ (line 52).
+    max_latency_us: Optional[int] = None
+    #: Reject sequence numbers more than this far in the future — the
+    #: §VI-D mitigation against memory-saturation attacks.  ``None`` = off.
+    future_bound_us: Optional[int] = 30_000_000
+    #: Verify the VSS dealing before validating (detects bad dealers early).
+    check_dealing: bool = True
+    #: §VI-D flooding mitigation ("allocate network resources fairly
+    #: between processes"): refuse to validate more than this many
+    #: instances per proposer per second.  ``None`` = off.
+    max_proposer_rate_per_s: Optional[float] = None
+
+    def resolved_L(self, delta_us: int) -> int:
+        return self.max_latency_us if self.max_latency_us is not None else 3 * delta_us
+
+
+class CommitState:
+    """Algorithm 4 at one process.
+
+    Callbacks:
+
+    - ``on_commit(entries)`` — a new wave of entries entered the committed
+      prefix, in output order.  The host broadcasts decryption shares.
+    - ``on_execute(entry, plaintext)`` — an output-log entry has been
+      decrypted *and* every earlier entry already executed.
+    """
+
+    def __init__(
+        self,
+        services: ProtocolServices,
+        clock: OrderingClock,
+        perceived: PerceivedSequence,
+        vss: VssScheme,
+        config: Optional[CommitConfig] = None,
+        *,
+        on_commit: Optional[Callable[[List[AcceptedEntry]], None]] = None,
+        on_execute: Optional[Callable[[AcceptedEntry, bytes], None]] = None,
+    ) -> None:
+        self.services = services
+        self.clock = clock
+        self.perceived = perceived
+        self.vss = vss
+        self.config = config or CommitConfig()
+        self.L = self.config.resolved_L(services.delta_us)
+        self.on_commit = on_commit
+        self.on_execute = on_execute
+
+        # Algorithm 4 state (lines 52-61).
+        self.pending: Dict[InstanceId, int] = {}
+        self.min_pending: int = NO_PENDING
+        self.accepted: Dict[InstanceId, AcceptedEntry] = {}  # live (uncommitted) A
+        self._accepted_ever: Set[InstanceId] = set()
+        self.locked_reports: Dict[int, int] = {}  # R
+        self.pending_reports: Dict[int, int] = {}  # S
+        self.locked: int = 0
+        self.stable: int = 0
+        self.committed: int = 0
+        self.committed_ids: Set[InstanceId] = set()  # C
+
+        # Commit-reveal machinery.
+        self.ciphers: Dict[InstanceId, Any] = {}
+        self._dshares: Dict[bytes, Dict[int, DecryptionShare]] = {}
+        self._plaintexts: Dict[InstanceId, bytes] = {}
+
+        # SMR output: the totally ordered committed log, and the execution
+        # pointer enforcing in-order execution as decryptions complete.
+        self.output_log: List[AcceptedEntry] = []
+        self._executed_upto: int = 0
+
+        # Statistics for experiments.
+        self.rejected_count = 0
+        self.accepted_count = 0
+        self.rate_limited_count = 0
+        # Flooding mitigation: token bucket per proposer (tokens = spare
+        # validation budget, refilled at max_proposer_rate_per_s).
+        self._rate_tokens: Dict[int, float] = {}
+        self._rate_last_us: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Validation function (lines 62-69)
+    # ------------------------------------------------------------------
+    def _rate_limit_ok(self, proposer: int) -> bool:
+        """Token-bucket fairness check (§VI-D flooding mitigation)."""
+        rate = self.config.max_proposer_rate_per_s
+        if rate is None:
+            return True
+        now = self.services.sim.now
+        last = self._rate_last_us.get(proposer, now)
+        tokens = self._rate_tokens.get(proposer, 2.0)  # small initial burst
+        tokens = min(2.0 * rate, tokens + (now - last) * rate / 1_000_000.0)
+        self._rate_last_us[proposer] = now
+        if tokens < 1.0:
+            self._rate_tokens[proposer] = tokens
+            self.rate_limited_count += 1
+            return False
+        self._rate_tokens[proposer] = tokens - 1.0
+        return True
+
+    def validate(self, iid: InstanceId, cipher: Any, preds: Tuple[int, ...]) -> bool:
+        if len(preds) != self.services.n:
+            return False
+        if not self._rate_limit_ok(iid.proposer):
+            return False
+        s = requested_sequence(preds, self.services.f)
+        seq_i = self.perceived.observe(cipher.cipher_id)
+        # Equation 1: the broadcaster predicted our clock within λ.
+        if abs(seq_i - preds[self.services.pid]) > self.config.lambda_us:
+            return False
+        # Acceptance window: the prefix of s is not locally locked.
+        if s <= seq_i - self.L:
+            return False
+        # §VI-D mitigation: refuse sequence numbers in the distant future.
+        if (
+            self.config.future_bound_us is not None
+            and s > seq_i + self.config.future_bound_us
+        ):
+            return False
+        if self.config.check_dealing and not self.vss.check_dealing(
+            cipher, self.services.pid
+        ):
+            return False
+        # Track as pending (line 65-66).
+        self.pending[iid] = s
+        if s < self.min_pending:
+            self.min_pending = s
+        return True
+
+    def _recompute_min_pending(self) -> None:
+        self.min_pending = min(self.pending.values()) if self.pending else NO_PENDING
+
+    # ------------------------------------------------------------------
+    # BOC outcomes (lines 70-73)
+    # ------------------------------------------------------------------
+    def on_accept(self, iid: InstanceId, cipher: Any, preds: Tuple[int, ...]) -> None:
+        """The BOC instance for ``iid`` decided 1."""
+        first_cipher = iid not in self.ciphers
+        self.ciphers[iid] = cipher
+        if self.pending.pop(iid, None) is not None:
+            self._recompute_min_pending()
+        if iid in self._accepted_ever or iid in self.committed_ids:
+            # Already learned through a piggyback; we may still have been
+            # missing the cipher for the reveal phase.
+            if first_cipher:
+                self._maybe_reveal(iid)
+            self._try_commit()
+            return
+        s = requested_sequence(preds, self.services.f)
+        entry = AcceptedEntry(iid, cipher.cipher_id, s)
+        self._accepted_ever.add(iid)
+        self.accepted[iid] = entry
+        self.accepted_count += 1
+        self._recompute_prefixes()
+
+    def on_reject(self, iid: InstanceId) -> None:
+        """The BOC instance for ``iid`` decided 0."""
+        self.rejected_count += 1
+        if self.pending.pop(iid, None) is not None:
+            self._recompute_min_pending()
+        self._try_commit()
+
+    def learn_cipher(self, iid: InstanceId, cipher: Any) -> None:
+        """A cipher recovered after the fact (fetch path / piggyback)."""
+        if iid not in self.ciphers:
+            self.ciphers[iid] = cipher
+            self._maybe_reveal(iid)
+
+    # ------------------------------------------------------------------
+    # Piggybacking (lines 74-78)
+    # ------------------------------------------------------------------
+    def piggyback(self) -> dict:
+        """The three fields attached to every broadcast."""
+        return {
+            "locked": self.clock.read() - self.L,
+            "minp": self.min_pending,
+            "acc": tuple(self.accepted.values()),
+        }
+
+    def piggyback_size(self) -> int:
+        # locked + minp + Merkle root standing in for older prefixes +
+        # the incremental accepted entries.
+        return 8 + 8 + 32 + sum(e.wire_size() for e in self.accepted.values())
+
+    # ------------------------------------------------------------------
+    # Receiving piggybacked state (lines 79-88)
+    # ------------------------------------------------------------------
+    def on_status(
+        self,
+        sender: int,
+        locked_j: int,
+        min_j: int,
+        accepted_j: Sequence[AcceptedEntry],
+    ) -> None:
+        self.locked_reports[sender] = int(locked_j)
+        self.pending_reports[sender] = int(min_j)
+        for entry in accepted_j:
+            if (
+                entry.instance not in self._accepted_ever
+                and entry.instance not in self.committed_ids
+            ):
+                self._accepted_ever.add(entry.instance)
+                self.accepted[entry.instance] = entry
+        self._recompute_prefixes()
+
+    @staticmethod
+    def _min_of_top(values: List[int], k: int) -> Optional[int]:
+        """``min`` of the ``k`` highest values, or None if fewer than k."""
+        if len(values) < k:
+            return None
+        return sorted(values, reverse=True)[k - 1]
+
+    def _recompute_prefixes(self) -> None:
+        k = 2 * self.services.f + 1
+        locked = self._min_of_top(list(self.locked_reports.values()), k)
+        if locked is not None and locked > self.locked:
+            self.locked = locked
+        pend = self._min_of_top(list(self.pending_reports.values()), k)
+        if pend is not None:
+            stable = min(self.locked, pend)
+            if stable > self.stable:
+                self.stable = stable
+        # committed = max accepted sequence ≤ stable (line 87); monotone.
+        best = self.committed
+        for entry in self.accepted.values():
+            if entry.seq <= self.stable and entry.seq > best:
+                best = entry.seq
+        self.committed = best
+        self._try_commit()
+
+    # ------------------------------------------------------------------
+    # try-commit (lines 89-95)
+    # ------------------------------------------------------------------
+    def _try_commit(self) -> None:
+        # wait-pending: never commit past a still-running local instance
+        # whose requested sequence number is in the committed prefix.
+        bound = self.committed
+        if self.pending:
+            bound = min(bound, min(self.pending.values()) - 1)
+        wave = [
+            entry
+            for entry in self.accepted.values()
+            if entry.seq <= bound
+        ]
+        if not wave:
+            return
+        wave.sort(key=AcceptedEntry.order_key)
+        for entry in wave:
+            del self.accepted[entry.instance]
+            self.committed_ids.add(entry.instance)
+            self.output_log.append(entry)
+        if self.on_commit is not None:
+            self.on_commit(wave)
+        for entry in wave:
+            self._maybe_reveal(entry.instance)
+
+    # ------------------------------------------------------------------
+    # Commit-reveal (lines 93-95 + Lemma 7)
+    # ------------------------------------------------------------------
+    def decryption_shares_for(
+        self, entries: Sequence[AcceptedEntry]
+    ) -> List[Tuple[InstanceId, DecryptionShare]]:
+        """Produce our decryption share for each committed cipher we hold."""
+        out = []
+        for entry in entries:
+            cipher = self.ciphers.get(entry.instance)
+            if cipher is None:
+                continue
+            try:
+                share = self.vss.partial_decrypt(cipher, self.services.pid)
+            except VssError:
+                continue  # bad dealer: our share is unusable
+            out.append((entry.instance, share))
+        return out
+
+    def on_decryption_share(
+        self, iid: InstanceId, share: DecryptionShare, sender: int
+    ) -> None:
+        if iid in self._plaintexts:
+            return
+        bucket = self._dshares.setdefault(share.cipher_id, {})
+        if sender in bucket:
+            return
+        bucket[sender] = share
+        self._maybe_reveal(iid)
+
+    def _maybe_reveal(self, iid: InstanceId) -> None:
+        if iid in self._plaintexts or iid not in self.committed_ids:
+            return
+        cipher = self.ciphers.get(iid)
+        if cipher is None:
+            return
+        bucket = self._dshares.get(cipher.cipher_id)
+        if bucket is None or len(bucket) < self.vss.threshold:
+            return
+        try:
+            plaintext = self.vss.decrypt(cipher, list(bucket.values()))
+        except VssError:
+            return  # wait for more (valid) shares
+        self._plaintexts[iid] = plaintext
+        self._drain_executions()
+
+    def _drain_executions(self) -> None:
+        """Execute output-log entries in order as plaintexts arrive."""
+        while self._executed_upto < len(self.output_log):
+            entry = self.output_log[self._executed_upto]
+            plaintext = self._plaintexts.get(entry.instance)
+            if plaintext is None:
+                return
+            self._executed_upto += 1
+            if self.on_execute is not None:
+                self.on_execute(entry, plaintext)
+
+    # ------------------------------------------------------------------
+    @property
+    def executed_count(self) -> int:
+        return self._executed_upto
+
+    def output_sequence(self) -> List[Tuple[int, bytes]]:
+        """The committed log as ``(seq, cipher_id)`` pairs (for checkers)."""
+        return [(e.seq, e.cipher_id) for e in self.output_log]
+
+    # ------------------------------------------------------------------
+    # Prefix summaries ("hash trees are used in lieu of older prefixes to
+    # reduce message size", §V-C): a 32-byte root stands in for the whole
+    # committed prefix, and membership proofs let peers audit that a
+    # specific transaction is part of a summarised prefix.
+    # ------------------------------------------------------------------
+    def committed_prefix_root(self) -> bytes:
+        from repro.crypto.merkle import MerkleTree
+
+        return MerkleTree([e.canonical() for e in self.output_log]).root
+
+    def committed_prefix_proof(self, iid: InstanceId):
+        """``(root, leaf, proof, leaf_count)`` for a committed instance, or
+        None if it is not in the committed prefix."""
+        from repro.crypto.merkle import MerkleTree
+
+        for index, entry in enumerate(self.output_log):
+            if entry.instance == iid:
+                tree = MerkleTree([e.canonical() for e in self.output_log])
+                return (
+                    tree.root,
+                    entry.canonical(),
+                    tree.proof(index),
+                    len(self.output_log),
+                )
+        return None
+
+
+__all__ = [
+    "CommitState",
+    "CommitConfig",
+    "NO_PENDING",
+    "STATUS_KIND",
+    "DSHARE_KIND",
+]

@@ -1,0 +1,595 @@
+"""The Lyra replica: Algorithms 1-4 wired into one node (§V).
+
+A :class:`LyraNode` is a :class:`~repro.sim.process.SimProcess` that
+
+- measures distances ``d_ij`` to its peers during a warm-up phase and keeps
+  them fresh from the perceived-sequence piggybacks on VVB votes (§IV-B1);
+- batches client transactions (§VI-B) and opens one BOC instance per batch
+  (``ordered-propose``, Algorithm 2): VSS-encrypt, predict ``S_t``, request
+  the ``(n-f)``-th predicted sequence number, run modified DBFT;
+- participates in every peer's instances (validation per Equation 1);
+- runs the Commit protocol (Algorithm 4) to derive locked/stable/committed
+  prefixes from piggybacked state, outputs the committed log, broadcasts
+  decryption shares, and executes transactions once revealed (Lemma 7);
+- replies to the submitting client when its transaction executes, which is
+  how closed-loop clients measure commit latency (§VI-A).
+
+Every received message is charged CPU time through the node's serialised
+core before processing (signature checks dominate), so compute contention
+shapes latency exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.batching import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_BATCH_TIMEOUT_US,
+    Mempool,
+)
+from repro.core.clocks import OrderingClock, PerceivedSequence
+from repro.core.commit import (
+    CommitConfig,
+    CommitState,
+    DSHARE_KIND,
+    STATUS_KIND,
+)
+from repro.core.dbft import AUX_KIND, BinaryConsensus, COORD_KIND
+from repro.core.bv_broadcast import BV_KIND
+from repro.core.distance import DistanceEstimator
+from repro.core.obfuscation import make_obfuscation
+from repro.core.services import ProtocolServices
+from repro.core.types import AcceptedEntry, Batch, InstanceId, Transaction
+from repro.core.vvb import (
+    DELIVER_KIND,
+    FETCH_KIND,
+    INIT_KIND,
+    VOTE0_KIND,
+    VOTE1_KIND,
+)
+from repro.crypto.cost import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.message import Message
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
+
+PROBE_KIND = "lyra.probe"
+PROBE_ACK_KIND = "lyra.probe_ack"
+CLIENT_TX_KIND = "client.tx"
+CLIENT_REPLY_KIND = "client.reply"
+
+
+@dataclass
+class LyraConfig:
+    """Per-node protocol configuration."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    batch_timeout_us: int = DEFAULT_BATCH_TIMEOUT_US
+    #: Commit-protocol tunables (λ, acceptance window, dealing checks).
+    commit: CommitConfig = field(default_factory=CommitConfig)
+    #: Heartbeat period for STATUS broadcasts (commit progress when idle).
+    status_interval_us: int = 25 * MILLISECONDS
+    #: Warm-up probing: rounds and spacing (§IV-B1).
+    warmup_rounds: int = 4
+    warmup_spacing_us: int = 150 * MILLISECONDS
+    #: Background distance re-probing period (0 disables); keeps the
+    #: ``d_ij`` estimates fresh after GST even if warm-up was adversarial.
+    probe_refresh_us: int = 1_000 * MILLISECONDS
+    #: ``"vss"`` (§II-B) or ``"hash"`` (the prototype's scheme, §VI-A).
+    obfuscation: str = "vss"
+    #: Crypto cost model.
+    costs: CryptoCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Clock skew of this node in µs (assigned by the harness).
+    clock_skew_us: int = 0
+    clock_drift: float = 1.0
+
+    def warmup_duration_us(self) -> int:
+        return self.warmup_rounds * self.warmup_spacing_us + 2 * self.warmup_spacing_us
+
+
+@dataclass
+class NodeStats:
+    """Counters the harness scrapes after a run."""
+
+    batches_proposed: int = 0
+    batches_committed_own: int = 0
+    txs_executed: int = 0
+    replayed_txs_dropped: int = 0
+    own_batch_latencies_us: List[int] = field(default_factory=list)
+    instances_joined: int = 0
+
+
+class LyraNode(SimProcess):
+    """One Lyra replica."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        *,
+        n: int,
+        f: int,
+        registry: KeyRegistry,
+        threshold: ThresholdScheme,
+        obfuscation: Any,
+        config: Optional[LyraConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        cpu_speed: float = 1.0,
+    ) -> None:
+        super().__init__(pid, sim, cpu_speed=cpu_speed)
+        self.n = n
+        self.f = f
+        self.registry = registry
+        self.threshold_scheme = threshold
+        self.obf = obfuscation
+        self.config = config or LyraConfig()
+        self.rng = (rng or RngRegistry(0)).get("node", str(pid))
+        self.costs = self.config.costs
+
+        self.clock = OrderingClock(
+            sim,
+            skew_us=self.config.clock_skew_us,
+            drift=self.config.clock_drift,
+        )
+        self.perceived = PerceivedSequence(self.clock)
+        self.estimator = DistanceEstimator(n, pid)
+        self.mempool = Mempool(self.config.batch_size)
+        self.stats = NodeStats()
+
+        # Built at attach() time (needs the network's Δ).
+        self.services: Optional[ProtocolServices] = None
+        self.commit: Optional[CommitState] = None
+
+        self._instances: Dict[InstanceId, BinaryConsensus] = {}
+        self._batch_counter = 0
+        self._s_ref: Dict[InstanceId, int] = {}
+        self._proposed_at: Dict[InstanceId, int] = {}
+        self._own_batches: Dict[InstanceId, List[Transaction]] = {}
+        self._awaiting_message: Set[InstanceId] = set()
+        self._preds: Dict[InstanceId, Tuple[int, ...]] = {}
+        self._tx_origin: Dict[Tuple[int, int], int] = {}
+        self._executed_tx_keys: Set[Tuple[int, int]] = set()
+        # Instances fully resolved at this node (revealed or rejected):
+        # their state can be garbage-collected after a linger, and late
+        # messages for them are ignored.
+        self._finished: Set[InstanceId] = set()
+        self._started = False
+        #: Optional hook: called as (entry, Batch) for every executed batch.
+        self.on_executed: Optional[Callable[[AcceptedEntry, Batch], None]] = None
+        #: Optional protocol tracer: (kind, iid, **detail) -> None
+        #: (see repro.metrics.tracelog.install_lyra_tracing).
+        self.tracer: Optional[Callable] = None
+
+    def _trace(self, kind: str, iid: Optional[InstanceId] = None, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer(kind, iid, **detail)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, network) -> None:
+        super().attach(network)
+        self.services = ProtocolServices(
+            pid=self.pid,
+            n=self.n,
+            f=self.f,
+            sim=self.sim,
+            delta_us=network.delta_us,
+            signer=self.registry.signer(self.pid),
+            registry=self.registry,
+            threshold=self.threshold_scheme,
+            costs=self.costs,
+            send_fn=self._proto_send,
+            broadcast_fn=self._proto_broadcast,
+            timers=self.timers,
+        )
+        self.commit = CommitState(
+            self.services,
+            self.clock,
+            self.perceived,
+            self.obf,
+            self.config.commit,
+            on_commit=self._on_commit_wave,
+            on_execute=self._on_execute,
+        )
+
+    def start(self) -> None:
+        """Begin warm-up probing, heartbeats and the batch-flush timer."""
+        if self._started:
+            return
+        self._started = True
+        for round_no in range(self.config.warmup_rounds):
+            self.sim.schedule(
+                round_no * self.config.warmup_spacing_us
+                + int(self.rng.integers(0, 5_000)),
+                self._send_probe,
+            )
+        self.timers.set(
+            "status", self.config.status_interval_us, self._status_tick
+        )
+        self.timers.set(
+            "batch-flush", self.config.batch_timeout_us, self._batch_flush_tick
+        )
+        if self.config.probe_refresh_us > 0:
+            self.timers.set(
+                "probe-refresh", self.config.probe_refresh_us, self._probe_refresh
+            )
+
+    def _probe_refresh(self) -> None:
+        # Distances drift (and pre-GST measurements may be adversarially
+        # biased): keep refreshing them in the background.
+        self._send_probe()
+        self.timers.set(
+            "probe-refresh", self.config.probe_refresh_us, self._probe_refresh
+        )
+
+    # ------------------------------------------------------------------
+    # Outgoing message wrappers
+    # ------------------------------------------------------------------
+    def _proto_send(self, dst: int, message: Message) -> None:
+        self.send(dst, message)
+
+    def _proto_broadcast(self, message: Message) -> None:
+        """Algorithm 4, lines 74-78: piggyback commit state on broadcasts."""
+        if self.commit is not None:
+            message.payload["pb"] = self.commit.piggyback()
+            message.size += self.commit.piggyback_size()
+        self._charge_send_cost(message)
+        self.broadcast(message)
+
+    def _charge_send_cost(self, message: Message) -> None:
+        kind = message.kind
+        if kind == INIT_KIND:
+            # Encryption + signing charged at propose time; forwarding free.
+            return
+        if kind == VOTE1_KIND:
+            self.charge(self.costs.share_sign_us)
+        elif kind == DELIVER_KIND:
+            self.charge(self.costs.combine_us(2 * self.f + 1))
+        elif kind == DSHARE_KIND:
+            items = message.payload.get("items", ())
+            self.charge(self.costs.vss_partial_decrypt_us * max(1, len(items)))
+
+    # ------------------------------------------------------------------
+    # Incoming messages: CPU queueing then dispatch
+    # ------------------------------------------------------------------
+    _RECEIVE_COSTS = {
+        VOTE0_KIND: 2,
+        BV_KIND: 2,
+        COORD_KIND: 2,
+        AUX_KIND: 2,
+        STATUS_KIND: 3,
+        FETCH_KIND: 1,
+        PROBE_KIND: 1,
+        PROBE_ACK_KIND: 1,
+        CLIENT_TX_KIND: 2,
+    }
+
+    def _receive_cost(self, message: Message) -> int:
+        kind = message.kind
+        if kind == INIT_KIND:
+            cost = self.costs.verify_us + self.costs.hash_us(message.size)
+            if self.config.commit.check_dealing:
+                cost += self.costs.vss_check_dealing_us
+            return cost
+        if kind == VOTE1_KIND:
+            return self.costs.share_verify_us
+        if kind == DELIVER_KIND:
+            return self.costs.threshold_verify_us
+        if kind == DSHARE_KIND:
+            return 2 * max(1, len(message.payload.get("items", ())))
+        return self._RECEIVE_COSTS.get(kind, 2)
+
+    def deliver(self, message: Message, sender: int) -> None:
+        if self.crashed:
+            return
+        self.messages_received += 1
+        cost = self._receive_cost(message)
+        done_at = self.cpu.acquire(cost)
+        if done_at <= self.sim.now:
+            self._process(message, sender)
+        else:
+            self.sim.schedule_at(done_at, lambda: self._process(message, sender))
+
+    def _process(self, message: Message, sender: int) -> None:
+        if self.crashed:
+            return
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        pb = payload.get("pb")
+        if pb is not None and self.commit is not None:
+            self.commit.on_status(
+                sender, pb.get("locked", 0), pb.get("minp", 0), pb.get("acc", ())
+            )
+        kind = message.kind
+        if kind == STATUS_KIND:
+            return  # piggyback already consumed
+        if kind == PROBE_KIND:
+            self._on_probe(payload, sender)
+        elif kind == PROBE_ACK_KIND:
+            self._on_probe_ack(payload, sender)
+        elif kind == CLIENT_TX_KIND:
+            self._on_client_tx(payload, sender)
+        elif kind == DSHARE_KIND:
+            self._on_dshare(payload, sender)
+        elif kind in (
+            INIT_KIND,
+            VOTE1_KIND,
+            VOTE0_KIND,
+            DELIVER_KIND,
+            FETCH_KIND,
+            BV_KIND,
+            COORD_KIND,
+            AUX_KIND,
+        ):
+            self._dispatch_instance(kind, payload, sender)
+
+    # ------------------------------------------------------------------
+    # Warm-up distance probing (§IV-B1)
+    # ------------------------------------------------------------------
+    def _send_probe(self) -> None:
+        ref = self.clock.now()
+        self.services.broadcast(PROBE_KIND, {"ref": ref}, 8)
+
+    def _on_probe(self, payload: dict, sender: int) -> None:
+        ref = payload.get("ref")
+        if isinstance(ref, int):
+            self.send(
+                sender,
+                Message(PROBE_ACK_KIND, {"ref": ref, "seq": self.clock.now()}, 56),
+            )
+
+    def _on_probe_ack(self, payload: dict, sender: int) -> None:
+        ref, seq = payload.get("ref"), payload.get("seq")
+        if isinstance(ref, int) and isinstance(seq, int):
+            self.estimator.record(sender, ref, seq)
+
+    # ------------------------------------------------------------------
+    # Client path and batching
+    # ------------------------------------------------------------------
+    def submit(self, tx: Transaction, client_pid: Optional[int] = None) -> None:
+        """Accept a transaction for ordering (local API; clients use
+        ``client.tx`` messages)."""
+        if client_pid is not None:
+            self._tx_origin[tx.key()] = client_pid
+        if self.mempool.add(tx):
+            self._maybe_propose()
+
+    def _on_client_tx(self, payload: dict, sender: int) -> None:
+        tx = payload.get("tx")
+        if isinstance(tx, Transaction):
+            self.submit(tx, client_pid=sender)
+
+    def _batch_flush_tick(self) -> None:
+        if len(self.mempool) > 0:
+            self._propose_batch(self.mempool.take_batch())
+        self.timers.set(
+            "batch-flush", self.config.batch_timeout_us, self._batch_flush_tick
+        )
+
+    def _maybe_propose(self) -> None:
+        while self.mempool.full:
+            self._propose_batch(self.mempool.take_batch())
+
+    # ------------------------------------------------------------------
+    # ordered-propose (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _propose_batch(self, txs: List[Transaction]) -> None:
+        if not txs:
+            return
+        iid = InstanceId(self.pid, self._batch_counter)
+        self._batch_counter += 1
+        batch = Batch(self.pid, iid.batch_no, tuple(txs))
+        plaintext = batch.serialize()
+        # Line 29: obfuscate t.  Charge encryption + hashing to our CPU.
+        self.charge(
+            self.costs.vss_encrypt_us(self.n)
+            + self.costs.hash_us(len(plaintext))
+            + self.costs.sign_us
+        )
+        cipher = self.obf.encrypt(plaintext, self.rng, self.pid)
+        # Lines 26-28: reference sequence number and predictions.
+        s_ref = self.clock.now()
+        self._s_ref[iid] = s_ref
+        preds = self.estimator.predict(s_ref)
+        self._proposed_at[iid] = self.sim.now
+        self._own_batches[iid] = list(txs)
+        self.stats.batches_proposed += 1
+        self._trace("proposed", iid, txs=len(txs), s_ref=s_ref)
+        instance = self._instance(iid)
+        instance.propose(cipher, preds)
+
+    # ------------------------------------------------------------------
+    # Instance management
+    # ------------------------------------------------------------------
+    def _instance(self, iid: InstanceId) -> BinaryConsensus:
+        instance = self._instances.get(iid)
+        if instance is None:
+            self.stats.instances_joined += 1
+            instance = BinaryConsensus(
+                self.services,
+                iid,
+                validate=lambda cipher, preds, iid=iid: self.commit.validate(
+                    iid, cipher, preds
+                ),
+                on_decide=lambda v, m, iid=iid: self._on_decide(iid, v, m),
+                perceive=lambda cipher: self.perceived.observe(cipher.cipher_id),
+                on_vote_seq=lambda sender, seq, iid=iid: self._on_vote_seq(
+                    iid, sender, seq
+                ),
+                on_message=lambda m, iid=iid: self._on_instance_message(iid, m),
+            )
+            self._instances[iid] = instance
+        return instance
+
+    def _gc_instance(self, iid: InstanceId) -> None:
+        """Drop a finished instance's state (memory hygiene for long runs;
+        the linger before this is called keeps FETCH/recovery served)."""
+        self._finished.add(iid)
+        instance = self._instances.pop(iid, None)
+        if instance is not None:
+            instance.close()
+        self._s_ref.pop(iid, None)
+        self._proposed_at.pop(iid, None)
+        self._preds.pop(iid, None)
+
+    def _schedule_gc(self, iid: InstanceId) -> None:
+        linger = 10 * self.services.delta_us
+        self.sim.schedule(linger, lambda: self._gc_instance(iid))
+
+    def _dispatch_instance(self, kind: str, payload: dict, sender: int) -> None:
+        iid = payload.get("iid")
+        if not isinstance(iid, InstanceId):
+            return
+        if iid in self._finished:
+            return  # resolved and garbage-collected; late traffic
+        instance = self._instance(iid)
+        if kind == INIT_KIND:
+            instance.on_init(payload, sender)
+        elif kind == VOTE1_KIND:
+            instance.on_vote1(payload, sender)
+        elif kind == VOTE0_KIND:
+            instance.on_vote0(payload, sender)
+        elif kind == DELIVER_KIND:
+            instance.on_deliver(payload, sender)
+        elif kind == FETCH_KIND:
+            instance.on_fetch(payload, sender)
+        elif kind == BV_KIND:
+            instance.on_bv(payload, sender)
+        elif kind == COORD_KIND:
+            instance.on_coord(payload, sender)
+        elif kind == AUX_KIND:
+            instance.on_aux(payload, sender)
+
+    def _on_vote_seq(self, iid: InstanceId, sender: int, seq_j: int) -> None:
+        """Distance refresh: we are the broadcaster and ``sender`` told us
+        its perceived sequence number for our transaction (§VI-B)."""
+        s_ref = self._s_ref.get(iid)
+        if s_ref is not None:
+            self.estimator.record(sender, s_ref, seq_j)
+
+    def _on_instance_message(self, iid: InstanceId, m: Tuple[Any, Tuple[int, ...]]) -> None:
+        cipher, preds = m
+        self._preds[iid] = preds
+        self.commit.learn_cipher(iid, cipher)
+        if iid in self._awaiting_message:
+            self._awaiting_message.discard(iid)
+            self.commit.on_accept(iid, cipher, preds)
+
+    def _on_decide(
+        self, iid: InstanceId, v: int, m: Optional[Tuple[Any, Tuple[int, ...]]]
+    ) -> None:
+        self._trace("decided", iid, value=v)
+        if v == 1:
+            self._own_batches.pop(iid, None)
+            if m is None:
+                self._awaiting_message.add(iid)
+            else:
+                self._preds[iid] = m[1]
+                self.commit.on_accept(iid, m[0], m[1])
+        else:
+            self.commit.on_reject(iid)
+            # SMR-Liveness: re-input our own rejected transactions; by the
+            # time they are re-proposed the distance estimates will have
+            # been refreshed by probe/vote piggybacks.
+            txs = self._own_batches.pop(iid, None)
+            if txs is not None:
+                self.mempool.requeue(txs)
+            self._schedule_gc(iid)
+
+    # ------------------------------------------------------------------
+    # Commit-reveal (Algorithm 4 lines 89-95)
+    # ------------------------------------------------------------------
+    def _on_commit_wave(self, wave: List[AcceptedEntry]) -> None:
+        for entry in wave:
+            self._trace("committed", entry.instance, seq=entry.seq)
+            if entry.instance.proposer == self.pid:
+                self.stats.batches_committed_own += 1
+                proposed = self._proposed_at.get(entry.instance)
+                if proposed is not None:
+                    self.stats.own_batch_latencies_us.append(self.sim.now - proposed)
+        items = self.commit.decryption_shares_for(wave)
+        if items:
+            self.services.broadcast(
+                DSHARE_KIND,
+                {"items": tuple(items)},
+                sum(s.wire_size() for _, s in items),
+            )
+
+    def _on_dshare(self, payload: dict, sender: int) -> None:
+        for item in payload.get("items", ()):
+            try:
+                iid, share = item
+            except (TypeError, ValueError):
+                continue
+            if isinstance(iid, InstanceId):
+                self.commit.on_decryption_share(iid, share, sender)
+
+    def _on_execute(self, entry: AcceptedEntry, plaintext: bytes) -> None:
+        try:
+            batch = Batch.deserialize(
+                entry.instance.proposer, entry.instance.batch_no, plaintext
+            )
+        except ValueError:
+            return  # a Byzantine proposer encrypted garbage
+        # First-commit-wins execution dedup: a Byzantine replica can copy a
+        # victim's opaque cipher into its own instance (cipher replay), but
+        # since the payload still carries the victim's identity, the copy
+        # merely executes the victim's intent once — re-executions are
+        # dropped here, so replays gain the attacker nothing (§VI-D).
+        fresh = tuple(
+            tx for tx in batch.txs if tx.key() not in self._executed_tx_keys
+        )
+        self._executed_tx_keys.update(tx.key() for tx in fresh)
+        if len(fresh) != len(batch.txs):
+            self.stats.replayed_txs_dropped += len(batch.txs) - len(fresh)
+        batch = Batch(batch.proposer, batch.batch_no, fresh)
+        self._trace("executed", entry.instance, txs=len(batch), seq=entry.seq)
+        self._schedule_gc(entry.instance)
+        self.stats.txs_executed += len(batch)
+        for tx in batch.txs:
+            client = self._tx_origin.pop(tx.key(), None)
+            if client is not None:
+                self.send(
+                    client,
+                    Message(
+                        CLIENT_REPLY_KIND,
+                        {"key": tx.key(), "seq": entry.seq},
+                        24,
+                    ),
+                )
+        self.mempool.drop_committed(batch.txs)
+        if self.on_executed is not None:
+            self.on_executed(entry, batch)
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def _status_tick(self) -> None:
+        self.services.broadcast(STATUS_KIND, {}, 8)
+        self.timers.set(
+            "status", self.config.status_interval_us, self._status_tick
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and experiments
+    # ------------------------------------------------------------------
+    def output_sequence(self) -> List[Tuple[int, bytes]]:
+        return self.commit.output_sequence() if self.commit else []
+
+    def executed_count(self) -> int:
+        return self.commit.executed_count if self.commit else 0
+
+
+__all__ = [
+    "LyraNode",
+    "LyraConfig",
+    "NodeStats",
+    "PROBE_KIND",
+    "PROBE_ACK_KIND",
+    "CLIENT_TX_KIND",
+    "CLIENT_REPLY_KIND",
+]

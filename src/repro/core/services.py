@@ -1,0 +1,69 @@
+"""Wiring between protocol instances and their host node.
+
+VVB / DBFT / Commit instances are plain state machines: they never touch
+the network or the simulator directly.  A :class:`ProtocolServices` bundle
+— constructed by the host node (or by a lightweight test harness) — gives
+them identity (pid, n, f), time, cryptographic capabilities, and
+``send``/``broadcast`` functions.  This keeps every protocol unit-testable
+without spinning up a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.crypto.cost import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.signatures import KeyRegistry, Signer
+from repro.crypto.threshold import ThresholdScheme, ThresholdSigner
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.timers import TimerWheel
+
+
+@dataclass
+class ProtocolServices:
+    """Everything a protocol instance needs from its host."""
+
+    pid: int
+    n: int
+    f: int
+    sim: Simulator
+    delta_us: int
+    signer: Signer
+    registry: KeyRegistry
+    threshold: ThresholdScheme
+    costs: CryptoCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Point-to-point send: (dst, Message) -> None.
+    send_fn: Callable[[int, Message], None] = lambda dst, msg: None
+    #: Broadcast to all replicas: (Message) -> None.
+    broadcast_fn: Callable[[Message], None] = lambda msg: None
+    timers: Optional[TimerWheel] = None
+    threshold_signer: Optional[ThresholdSigner] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 3 * self.f and self.f > 0:
+            raise ValueError(f"need n > 3f (n={self.n}, f={self.f})")
+        if self.timers is None:
+            self.timers = TimerWheel(self.sim)
+        if self.threshold_signer is None:
+            self.threshold_signer = self.threshold.share_signer(self.pid)
+
+    @property
+    def quorum(self) -> int:
+        """``n - f`` — the Byzantine quorum (≥ 2f+1 when n = 3f+1)."""
+        return self.n - self.f
+
+    @property
+    def small_quorum(self) -> int:
+        """``f + 1`` — guarantees at least one correct process."""
+        return self.f + 1
+
+    def send(self, dst: int, kind: str, payload: Any, size: int = 0) -> None:
+        self.send_fn(dst, Message(kind, payload, size))
+
+    def broadcast(self, kind: str, payload: Any, size: int = 0) -> None:
+        self.broadcast_fn(Message(kind, payload, size))
+
+
+__all__ = ["ProtocolServices"]

@@ -1,0 +1,43 @@
+"""Hash-based commitments (Halevi–Micali [13]).
+
+The paper's Rust prototype obfuscates transactions with a hash-based
+commitment scheme rather than full VSS (§VI-A).  We implement both; this
+module is the cheap scheme:  ``commit(m) = H(m || r)`` with a random
+32-byte nonce ``r``.  Hiding comes from the nonce's entropy, binding from
+collision resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_bytes
+
+
+@dataclass(frozen=True)
+class HashCommitment:
+    """The public commitment value ``H(m || r)``."""
+
+    digest: bytes
+
+    def wire_size(self) -> int:
+        return len(self.digest)
+
+
+def commit(message: bytes, rng) -> tuple[HashCommitment, bytes]:
+    """Commit to ``message``; returns ``(commitment, opening_nonce)``.
+
+    The committer keeps the nonce secret until reveal time.
+    """
+    nonce = bytes(int(b) for b in rng.integers(0, 256, size=32))
+    return HashCommitment(sha256_bytes(message + nonce)), nonce
+
+
+def open_commitment(
+    commitment: HashCommitment, message: bytes, nonce: bytes
+) -> bool:
+    """Verify a reveal against the commitment."""
+    return sha256_bytes(message + nonce) == commitment.digest
+
+
+__all__ = ["HashCommitment", "commit", "open_commitment"]

@@ -1,0 +1,137 @@
+"""Feldman verifiable secret sharing (the VSS of §II-B, reference [6]).
+
+Shamir sharing alone lets a Byzantine dealer hand out inconsistent shares.
+Feldman's scheme publishes commitments ``C_j = g^{a_j} (mod q)`` to the
+polynomial coefficients; everyone can then check its share ``(i, y_i)``
+against::
+
+    g^{y_i}  ==  prod_j C_j^{i^j}   (mod q)
+
+The group is the order-``p`` subgroup of ``Z_q*`` where ``q = k*p + 1`` is
+prime and ``p`` is the secret-sharing field modulus — computed once at
+import by a Miller–Rabin search over ``k``.  Parameters are demo-grade
+(127-bit field); the verification algebra is the real thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.field import DEFAULT_FIELD, PrimeField
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.shamir import ShamirShare
+
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Miller–Rabin with fixed bases (deterministic for our ~134-bit range
+    with overwhelming probability; q is fixed at import so one check)."""
+    if n < 2:
+        return False
+    for small in _MR_BASES:
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_group(p: int) -> Tuple[int, int]:
+    """Find ``(q, g)``: prime ``q = k*p + 1`` and a generator ``g`` of the
+    order-``p`` subgroup of ``Z_q*``."""
+    k = 2
+    while True:
+        q = k * p + 1
+        if _is_probable_prime(q):
+            for h in range(2, 100):
+                g = pow(h, k, q)
+                if g != 1:
+                    return q, g
+        k += 2
+
+
+# Group parameters for the default field, computed once.
+_DEFAULT_Q, _DEFAULT_G = find_group(DEFAULT_FIELD.p)
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Public commitment vector ``(C_0, ..., C_{k-1})`` to a sharing."""
+
+    values: Tuple[int, ...]
+
+    @property
+    def threshold(self) -> int:
+        return len(self.values)
+
+    def wire_size(self) -> int:
+        return 17 * len(self.values)
+
+
+@dataclass(frozen=True)
+class VerifiedShare:
+    """A Shamir share bundled with the commitment it verifies against."""
+
+    share: ShamirShare
+    commitment: FeldmanCommitment
+
+
+class FeldmanVSS:
+    """Dealer/verifier operations of Feldman VSS over the default group."""
+
+    def __init__(self, field: PrimeField = DEFAULT_FIELD) -> None:
+        self.field = field
+        if field == DEFAULT_FIELD:
+            self.q, self.g = _DEFAULT_Q, _DEFAULT_G
+        else:
+            self.q, self.g = find_group(field.p)
+
+    # ------------------------------------------------------------------
+    def deal(
+        self,
+        secret: int,
+        threshold: int,
+        n_shares: int,
+        rng,
+    ) -> Tuple[List[ShamirShare], FeldmanCommitment]:
+        """Share ``secret`` and publish coefficient commitments."""
+        if threshold < 1 or n_shares < threshold:
+            raise ValueError("invalid (threshold, n_shares)")
+        poly = Polynomial.random_with_secret(secret, threshold - 1, rng, self.field)
+        shares = [ShamirShare(i, poly.evaluate(i)) for i in range(1, n_shares + 1)]
+        commitment = FeldmanCommitment(
+            tuple(pow(self.g, c, self.q) for c in poly.coefficients)
+        )
+        return shares, commitment
+
+    def verify_share(self, share: ShamirShare, commitment: FeldmanCommitment) -> bool:
+        """Check ``g^{y_i} == prod C_j^{i^j}`` — i.e. the share lies on the
+        committed polynomial."""
+        lhs = pow(self.g, share.value, self.q)
+        rhs = 1
+        x_pow = 1  # i^j mod p (exponents live in the field)
+        for c in commitment.values:
+            rhs = (rhs * pow(c, x_pow, self.q)) % self.q
+            x_pow = self.field.mul(x_pow, share.index)
+        return lhs == rhs
+
+    def commitment_to_secret(self, commitment: FeldmanCommitment) -> int:
+        """``g^secret`` — binds the dealer to the secret without revealing it."""
+        return commitment.values[0]
+
+
+__all__ = ["FeldmanVSS", "FeldmanCommitment", "VerifiedShare", "find_group"]

@@ -1,0 +1,81 @@
+"""Hashing helpers: the collision-resistant hash of §II-B (SHA-256).
+
+``digest_of`` canonically serialises small Python structures so protocol
+code can hash tuples/lists/ints/bytes without inventing ad-hoc encodings
+(two structurally equal values always hash equal; type confusion between
+e.g. ``1`` and ``"1"`` is prevented by type tags).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _feed(h: "hashlib._Hash", value: Any) -> None:
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        h.update(b"I")
+        h.update(str(value).encode())
+        h.update(b";")
+    elif isinstance(value, float):
+        h.update(b"F")
+        h.update(repr(value).encode())
+        h.update(b";")
+    elif isinstance(value, bytes):
+        h.update(b"Y")
+        h.update(len(value).to_bytes(8, "big"))
+        h.update(value)
+    elif isinstance(value, str):
+        data = value.encode()
+        h.update(b"S")
+        h.update(len(data).to_bytes(8, "big"))
+        h.update(data)
+    elif isinstance(value, (tuple, list)):
+        h.update(b"L")
+        h.update(len(value).to_bytes(8, "big"))
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, (set, frozenset)):
+        h.update(b"E")
+        digests = sorted(digest_of(item) for item in value)
+        h.update(len(digests).to_bytes(8, "big"))
+        for d in digests:
+            h.update(d)
+    elif isinstance(value, dict):
+        h.update(b"D")
+        entries = sorted(
+            (digest_of(k), digest_of(v)) for k, v in value.items()
+        )
+        h.update(len(entries).to_bytes(8, "big"))
+        for dk, dv in entries:
+            h.update(dk)
+            h.update(dv)
+    else:
+        # Objects can opt in by exposing a stable ``canonical()`` tuple.
+        canonical = getattr(value, "canonical", None)
+        if canonical is None:
+            raise TypeError(f"cannot canonically hash {type(value).__name__}")
+        h.update(type(value).__name__.encode())
+        _feed(h, canonical() if callable(canonical) else canonical)
+
+
+def digest_of(value: Any) -> bytes:
+    """Canonical SHA-256 digest of a (nested) Python value."""
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.digest()
+
+
+__all__ = ["sha256_bytes", "sha256_hex", "digest_of"]

@@ -1,0 +1,117 @@
+"""Merkle (hash) trees.
+
+Algorithm 4 piggybacks each process's accepted-transaction set on every
+message; the paper notes "hash trees are used in lieu of older prefixes to
+reduce message size".  This module provides the tree: build over a list of
+leaf digests, produce the root (32 bytes summarising an arbitrarily long
+prefix), and generate/verify membership proofs so a receiver can audit that
+a specific transaction is part of a summarised prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.crypto.hashing import digest_of, sha256_bytes
+
+#: Domain-separation prefixes: leaf vs interior, preventing second-preimage
+#: tricks that splice a subtree in as a leaf.
+_LEAF = b"\x00"
+_NODE = b"\x01"
+
+
+def _leaf_hash(leaf: Any) -> bytes:
+    return sha256_bytes(_LEAF + digest_of(leaf))
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256_bytes(_NODE + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """A membership proof: leaf index plus sibling hashes bottom-up."""
+
+    index: int
+    siblings: Tuple[bytes, ...]
+
+    def wire_size(self) -> int:
+        return 4 + 32 * len(self.siblings)
+
+
+class MerkleTree:
+    """A complete binary hash tree over a sequence of leaves.
+
+    Odd nodes at any level are promoted (Bitcoin-style duplication is
+    deliberately avoided: duplication permits distinct leaf sets with equal
+    roots).  An empty tree has the well-known all-zeros root.
+    """
+
+    EMPTY_ROOT = b"\x00" * 32
+
+    def __init__(self, leaves: Sequence[Any]) -> None:
+        self.leaf_count = len(leaves)
+        self._levels: List[List[bytes]] = []
+        level = [_leaf_hash(leaf) for leaf in leaves]
+        self._levels.append(level)
+        while len(level) > 1:
+            nxt: List[bytes] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])  # promote the odd node
+            self._levels.append(nxt)
+            level = nxt
+
+    @property
+    def root(self) -> bytes:
+        if self.leaf_count == 0:
+            return self.EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Membership proof for the leaf at ``index``."""
+        if not (0 <= index < self.leaf_count):
+            raise IndexError(f"leaf index {index} out of range")
+        siblings: List[bytes] = []
+        idx = index
+        for level in self._levels[:-1]:
+            sibling_idx = idx ^ 1
+            if sibling_idx < len(level):
+                siblings.append(level[sibling_idx])
+            # When idx is a promoted odd node it has no sibling this level.
+            idx //= 2
+        return MerkleProof(index, tuple(siblings))
+
+    @staticmethod
+    def verify(root: bytes, leaf: Any, proof: MerkleProof, leaf_count: int) -> bool:
+        """Check ``leaf`` is at ``proof.index`` under ``root``."""
+        if leaf_count == 0:
+            return False
+        if not (0 <= proof.index < leaf_count):
+            return False
+        acc = _leaf_hash(leaf)
+        idx = proof.index
+        width = leaf_count
+        sibling_iter = iter(proof.siblings)
+        while width > 1:
+            sibling_idx = idx ^ 1
+            if sibling_idx < width:
+                try:
+                    sibling = next(sibling_iter)
+                except StopIteration:
+                    return False
+                if idx % 2 == 0:
+                    acc = _node_hash(acc, sibling)
+                else:
+                    acc = _node_hash(sibling, acc)
+            idx //= 2
+            width = (width + 1) // 2
+        # Proof must be fully consumed (no trailing junk).
+        if next(sibling_iter, None) is not None:
+            return False
+        return acc == root
+
+
+__all__ = ["MerkleTree", "MerkleProof"]

@@ -1,0 +1,100 @@
+"""Polynomials over GF(p) and Lagrange interpolation.
+
+These are the algebraic workhorses of Shamir secret sharing: a degree-(k-1)
+polynomial hides a secret in its constant term, and any k evaluation points
+reconstruct it by Lagrange interpolation at x = 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.crypto.field import DEFAULT_FIELD, PrimeField
+
+
+class Polynomial:
+    """A polynomial ``a_0 + a_1 x + ... + a_{d} x^d`` over a prime field."""
+
+    def __init__(self, coefficients: Sequence[int], field: PrimeField = DEFAULT_FIELD) -> None:
+        if not coefficients:
+            raise ValueError("a polynomial needs at least one coefficient")
+        self.field = field
+        self.coefficients: List[int] = [field.element(c) for c in coefficients]
+
+    @classmethod
+    def random_with_secret(
+        cls,
+        secret: int,
+        degree: int,
+        rng,
+        field: PrimeField = DEFAULT_FIELD,
+    ) -> "Polynomial":
+        """Uniformly random polynomial of ``degree`` with ``P(0) = secret``."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        coeffs = [field.element(secret)] + field.random_elements(rng, degree)
+        return cls(coeffs, field)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    @property
+    def secret(self) -> int:
+        """The constant term (Shamir's hidden value)."""
+        return self.coefficients[0]
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation of the polynomial at ``x``."""
+        f = self.field
+        acc = 0
+        for coeff in reversed(self.coefficients):
+            acc = f.add(f.mul(acc, x), coeff)
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int]) -> List[int]:
+        return [self.evaluate(x) for x in xs]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and other.field == self.field
+            and other.coefficients == self.coefficients
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Polynomial(degree={self.degree})"
+
+
+def lagrange_interpolate_at(
+    points: Sequence[Tuple[int, int]],
+    x: int = 0,
+    field: PrimeField = DEFAULT_FIELD,
+) -> int:
+    """Interpolate the unique degree-(k-1) polynomial through ``points`` and
+    evaluate it at ``x`` (default 0: Shamir reconstruction).
+
+    Raises ``ValueError`` on duplicate abscissae — a duplicate share is a
+    protocol bug, never legitimate input.
+    """
+    if not points:
+        raise ValueError("need at least one point to interpolate")
+    xs = [field.element(px) for px, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate x coordinates in interpolation points")
+    x = field.element(x)
+    result = 0
+    for j, (xj, yj) in enumerate(points):
+        xj = field.element(xj)
+        num, den = 1, 1
+        for m, (xm, _) in enumerate(points):
+            if m == j:
+                continue
+            xm = field.element(xm)
+            num = field.mul(num, field.sub(x, xm))
+            den = field.mul(den, field.sub(xj, xm))
+        result = field.add(result, field.mul(field.element(yj), field.div(num, den)))
+    return result
+
+
+__all__ = ["Polynomial", "lagrange_interpolate_at"]

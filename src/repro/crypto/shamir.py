@@ -1,0 +1,73 @@
+"""Shamir (k, n) secret sharing [Shamir 1979], reference [28] in the paper.
+
+A secret ``s`` is embedded as the constant term of a random degree-(k-1)
+polynomial; share ``i`` is the evaluation at ``x = i`` (1-based, since
+``x = 0`` would leak the secret).  Any k shares reconstruct ``s``; any k-1
+shares are information-theoretically independent of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.crypto.field import DEFAULT_FIELD, PrimeField
+from repro.crypto.polynomial import Polynomial, lagrange_interpolate_at
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One share: evaluation point ``index`` (1-based) and value ``value``."""
+
+    index: int
+    value: int
+
+    def wire_size(self) -> int:
+        return 4 + 16  # index + 127-bit field element
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    n_shares: int,
+    rng,
+    field: PrimeField = DEFAULT_FIELD,
+) -> List[ShamirShare]:
+    """Split ``secret`` into ``n_shares`` shares, any ``threshold`` of which
+    reconstruct it.
+
+    ``threshold`` in Lyra is ``2f + 1`` with ``n_shares = n`` (§II-B).
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    if n_shares < threshold:
+        raise ValueError("cannot have fewer shares than the threshold")
+    if n_shares >= field.p:
+        raise ValueError("field too small for this many shares")
+    poly = Polynomial.random_with_secret(secret, threshold - 1, rng, field)
+    return [ShamirShare(i, poly.evaluate(i)) for i in range(1, n_shares + 1)]
+
+
+def reconstruct_secret(
+    shares: Sequence[ShamirShare],
+    threshold: int,
+    field: PrimeField = DEFAULT_FIELD,
+) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Extra shares beyond the threshold are ignored (the first ``threshold``
+    distinct indices are used), mirroring how a process decrypts as soon as
+    it holds a quorum of decryption shares.
+    """
+    distinct = {}
+    for share in shares:
+        distinct.setdefault(share.index, share)
+    if len(distinct) < threshold:
+        raise ValueError(
+            f"need {threshold} distinct shares, got {len(distinct)}"
+        )
+    subset = sorted(distinct.values(), key=lambda s: s.index)[:threshold]
+    return lagrange_interpolate_at([(s.index, s.value) for s in subset], 0, field)
+
+
+__all__ = ["ShamirShare", "split_secret", "reconstruct_secret"]

@@ -1,0 +1,88 @@
+"""Per-process signatures: ``private-sign`` / ``public-verify`` (§II-B).
+
+The simulator models a PKI with a :class:`KeyRegistry`: at setup every pid
+gets a secret key; a :class:`Signer` capability wraps one pid's key and is
+the only way to produce tags for that pid.  Verification recomputes the
+keyed MAC through the registry — playing the role of the public key.
+
+Unforgeability is by capability discipline: the simulation hands each
+process exactly its own :class:`Signer`, so no process (including simulated
+Byzantine ones) can sign for another.  Tag length and verify cost match
+Ed25519-class signatures via :mod:`repro.crypto.cost`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.crypto.hashing import digest_of
+from repro.sim.rng import derive_seed
+
+SIGNATURE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A transferable signature: signer id + MAC tag."""
+
+    signer: int
+    tag: bytes
+
+    def wire_size(self) -> int:
+        return SIGNATURE_BYTES
+
+    def canonical(self) -> tuple:
+        return (self.signer, self.tag)
+
+
+class KeyRegistry:
+    """The PKI: deterministic per-pid secret keys derived from a root seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._keys: Dict[int, bytes] = {}
+
+    def _key(self, pid: int) -> bytes:
+        key = self._keys.get(pid)
+        if key is None:
+            key = derive_seed(self._seed, "signing-key", str(pid)).to_bytes(8, "big")
+            key = hashlib.sha256(key).digest()
+            self._keys[pid] = key
+        return key
+
+    def signer(self, pid: int) -> "Signer":
+        """Issue the signing capability for ``pid`` (setup-time only)."""
+        return Signer(pid, self._key(pid), self)
+
+    def _tag(self, pid: int, message: Any) -> bytes:
+        return hmac.new(self._key(pid), digest_of(message), hashlib.sha512).digest()
+
+    def verify(self, message: Any, signature: Signature, pid: int) -> bool:
+        """``public-verify(m, sigma, j)`` — check ``signature`` was produced
+        by ``pid`` over ``message``."""
+        if signature.signer != pid:
+            return False
+        return hmac.compare_digest(self._tag(pid, message), signature.tag)
+
+
+class Signer:
+    """A single process's signing capability."""
+
+    def __init__(self, pid: int, key: bytes, registry: KeyRegistry) -> None:
+        self.pid = pid
+        self._key = key
+        self._registry = registry
+
+    def sign(self, message: Any) -> Signature:
+        """``private-sign(m)``."""
+        tag = hmac.new(self._key, digest_of(message), hashlib.sha512).digest()
+        return Signature(self.pid, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signer(pid={self.pid})"
+
+
+__all__ = ["KeyRegistry", "Signer", "Signature", "SIGNATURE_BYTES"]

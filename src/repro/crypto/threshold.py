@@ -1,0 +1,154 @@
+"""(2f+1, n) threshold signatures: ``share-sign`` / ``share-verify`` /
+``share-combine`` / ``share-threshold`` (§II-B).
+
+VVB (Algorithm 1) uses these to build a transferable *delivery proof*: a
+process that collects ``2f+1`` signature shares for a message combines them
+into one full signature proving a supermajority validated the message.
+
+Construction: the scheme holds a master key; each pid's share key is
+derived from it.  ``share-sign`` MACs the message under the share key;
+``share-combine`` *requires* ``threshold`` valid shares from distinct
+signers before it will emit the full signature (the combiner cannot mint it
+otherwise — enforced because only :meth:`ThresholdScheme.combine` holds the
+master key and it validates the quorum first).  This preserves exactly the
+property the protocols rely on — a full signature implies 2f+1 validations
+— while costing what a BLS threshold scheme costs via the cost model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.crypto.hashing import digest_of
+from repro.sim.rng import derive_seed
+
+SHARE_BYTES = 48
+THRESHOLD_SIG_BYTES = 96
+
+
+class ThresholdError(ValueError):
+    """Raised when combination preconditions are violated."""
+
+
+@dataclass(frozen=True)
+class SignatureShare:
+    """One process's share over a message."""
+
+    signer: int
+    tag: bytes
+
+    def wire_size(self) -> int:
+        return SHARE_BYTES
+
+    def canonical(self) -> tuple:
+        return (self.signer, self.tag)
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined full signature, transferable and verifiable by anyone."""
+
+    tag: bytes
+    signer_count: int
+
+    def wire_size(self) -> int:
+        return THRESHOLD_SIG_BYTES
+
+    def canonical(self) -> tuple:
+        return (self.tag, self.signer_count)
+
+
+class ThresholdScheme:
+    """One (threshold, n) instance shared by all processes of a run."""
+
+    def __init__(self, threshold: int, n: int, *, seed: int = 0) -> None:
+        if threshold < 1 or n < threshold:
+            raise ValueError("invalid (threshold, n)")
+        self.threshold = threshold
+        self.n = n
+        self._master = hashlib.sha256(
+            derive_seed(seed, "threshold-master").to_bytes(8, "big")
+        ).digest()
+        self._share_keys: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    def _share_key(self, pid: int) -> bytes:
+        key = self._share_keys.get(pid)
+        if key is None:
+            key = hmac.new(self._master, b"share:%d" % pid, hashlib.sha256).digest()
+            self._share_keys[pid] = key
+        return key
+
+    def share_signer(self, pid: int) -> "ThresholdSigner":
+        """Issue pid's share-signing capability (setup-time only)."""
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} outside [0, {self.n})")
+        return ThresholdSigner(pid, self._share_key(pid))
+
+    # ------------------------------------------------------------------
+    def share_verify(self, message: Any, share: SignatureShare, pid: int) -> bool:
+        """``share-verify(m, pi, j)``."""
+        if share.signer != pid or not (0 <= pid < self.n):
+            return False
+        expect = hmac.new(self._share_key(pid), digest_of(message), hashlib.sha384)
+        return hmac.compare_digest(expect.digest(), share.tag)
+
+    def combine(
+        self, message: Any, shares: Iterable[SignatureShare]
+    ) -> ThresholdSignature:
+        """``share-combine({pi})`` — needs ``threshold`` valid shares from
+        distinct signers; raises :class:`ThresholdError` otherwise."""
+        valid: Dict[int, SignatureShare] = {}
+        for share in shares:
+            if share.signer in valid:
+                continue
+            if self.share_verify(message, share, share.signer):
+                valid[share.signer] = share
+        if len(valid) < self.threshold:
+            raise ThresholdError(
+                f"need {self.threshold} valid shares, got {len(valid)}"
+            )
+        tag = hmac.new(
+            self._master, b"full:" + digest_of(message), hashlib.sha384
+        ).digest()
+        return ThresholdSignature(tag, len(valid))
+
+    def verify_full(self, signature: ThresholdSignature, message: Any) -> bool:
+        """``share-threshold(Pi, m)``."""
+        expect = hmac.new(
+            self._master, b"full:" + digest_of(message), hashlib.sha384
+        ).digest()
+        return (
+            signature.signer_count >= self.threshold
+            and hmac.compare_digest(expect, signature.tag)
+        )
+
+
+class ThresholdSigner:
+    """A single process's share-signing capability."""
+
+    def __init__(self, pid: int, key: bytes) -> None:
+        self.pid = pid
+        self._key = key
+
+    def share_sign(self, message: Any) -> SignatureShare:
+        """``share-sign(m)``."""
+        tag = hmac.new(self._key, digest_of(message), hashlib.sha384).digest()
+        return SignatureShare(self.pid, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThresholdSigner(pid={self.pid})"
+
+
+__all__ = [
+    "ThresholdScheme",
+    "ThresholdSigner",
+    "SignatureShare",
+    "ThresholdSignature",
+    "ThresholdError",
+    "SHARE_BYTES",
+    "THRESHOLD_SIG_BYTES",
+]

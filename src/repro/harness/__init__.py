@@ -1,0 +1,21 @@
+"""Experiment harness: cluster builders and figure regenerators.
+
+- :func:`build_lyra_cluster` / :func:`build_pompe_cluster` — assemble a
+  full simulated deployment from an :class:`ExperimentConfig`.
+- :mod:`repro.harness.experiments` — one entry point per paper artefact
+  (Fig. 1, Fig. 2, Fig. 3, plus the ablations listed in DESIGN.md §4).
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.cluster import (
+    ExperimentResult,
+    LyraCluster,
+    build_lyra_cluster,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LyraCluster",
+    "build_lyra_cluster",
+]

@@ -1,0 +1,276 @@
+"""Full-cluster attack experiments (Fig. 1 and §VI-D).
+
+These builders construct mixed honest/Byzantine deployments on the Fig. 1
+topology and report whether the front-run landed in the committed order.
+They are used by ``benchmarks/bench_fig1_frontrunning.py`` and the
+``examples/frontrunning_attack.py`` walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.pompe_attacks import (
+    ATTACK_MARKER,
+    CherryPickingOrdererNode,
+    VICTIM_MARKER,
+    batch_contains,
+)
+from repro.baselines.pompe import PompeConfig, PompeNode
+from repro.core.commit import CommitConfig
+from repro.core.node import LyraConfig, LyraNode
+from repro.core.obfuscation import make_obfuscation
+from repro.core.types import Batch, InstanceId, Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.latency import GeoLatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.net.topology import Topology
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.clients import OpenLoopClient
+
+
+def _fig1_outcome_cls():
+    from repro.attacks.frontrun import Fig1Outcome
+
+    return Fig1Outcome
+
+
+# ----------------------------------------------------------------------
+# Pompē: clear-text ordering — the attack is expected to SUCCEED.
+# ----------------------------------------------------------------------
+def run_pompe_attack(scenario, *, seed: int = 7, duration_us: int = 12_000_000):
+    Fig1Outcome = _fig1_outcome_cls()
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    n, f = scenario.n, scenario.f
+    topology = Topology(n, scenario.regions())
+    registry = KeyRegistry(seed)
+    threshold = ThresholdScheme(2 * f + 1, n, seed=seed)
+
+    nodes: List[PompeNode] = []
+    for pid in range(n):
+        cfg = PompeConfig(batch_size=1, batch_timeout_us=20 * MILLISECONDS)
+        cls = CherryPickingOrdererNode if pid == 1 else PompeNode
+        nodes.append(
+            cls(
+                pid,
+                sim,
+                n=n,
+                f=f,
+                registry=registry,
+                threshold=threshold,
+                config=cfg,
+                rng=rng,
+            )
+        )
+
+    latency = GeoLatencyModel(topology.placement, jitter=0.0, rng=rng)
+    network = Network(
+        sim, latency, config=NetworkConfig(delta_us=200 * MILLISECONDS)
+    )
+    for node in nodes:
+        network.register(node, replica=True)
+
+    # Alice: one victim transaction from Tokyo, homed at the Tokyo replica.
+    alice_pid = topology.place(scenario.victim_region)
+    alice = OpenLoopClient(
+        alice_pid,
+        sim,
+        0,
+        interval_us=1_000_000,
+        start_at_us=1_000_000,
+        count=1,
+        body=VICTIM_MARKER,
+    )
+    network.register(alice, replica=False)
+
+    # Record executed batches at the victim's replica.
+    executed: List[Tuple[int, Batch]] = []
+    nodes[0].on_executed = lambda cert: executed.append(
+        (cert.assigned_ts, cert.batch)
+    )
+
+    for node in nodes:
+        node.start()
+    sim.run(until=duration_us)
+
+    victim_pos = attacker_pos = None
+    for idx, (_, batch) in enumerate(executed):
+        if batch_contains(batch, VICTIM_MARKER) and victim_pos is None:
+            victim_pos = idx
+        if batch_contains(batch, ATTACK_MARKER) and attacker_pos is None:
+            attacker_pos = idx
+    succeeded = (
+        attacker_pos < victim_pos
+        if victim_pos is not None and attacker_pos is not None
+        else None
+    )
+    attacker = nodes[1]
+    return Fig1Outcome(
+        attack_succeeded=succeeded,
+        victim_position=victim_pos,
+        attacker_position=attacker_pos,
+        attacker_observed_plaintext=attacker.attack.observed_at_us is not None,
+        detail=(
+            f"observed at {attacker.attack.observed_at_us}us, "
+            f"attacked at {attacker.attack.attacked_at_us}us, "
+            f"executed order: victim@{victim_pos} attacker@{attacker_pos}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Lyra: commit-reveal — the attack is expected to FAIL.
+# ----------------------------------------------------------------------
+class LyraBackdatingAttacker(LyraNode):
+    """The strongest Mallory against Lyra: she cannot read ciphertexts, so
+    she waits for the reveal and then tries to inject a front-running
+    transaction with a *backdated* sequence-number prediction set.  The
+    validation function (Equation 1) rejects it at every correct replica.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.observed_plaintext_at: Optional[int] = None
+        self.attacked_at: Optional[int] = None
+        self.attack_iid: Optional[InstanceId] = None
+        self.attack_decision: Optional[int] = None
+        self.victim_seq: Optional[int] = None
+        self._attack_nonce = 0
+
+    def _on_execute(self, entry, plaintext: bytes) -> None:
+        super()._on_execute(entry, plaintext)
+        if self.observed_plaintext_at is not None:
+            return
+        try:
+            batch = Batch.deserialize(
+                entry.instance.proposer, entry.instance.batch_no, plaintext
+            )
+        except ValueError:
+            return
+        if not batch_contains(batch, VICTIM_MARKER):
+            return
+        # First moment Mallory can READ the victim's payload: post-commit.
+        self.observed_plaintext_at = self.sim.now
+        self.victim_seq = entry.seq
+        self._launch_backdated(entry.seq)
+
+    def _launch_backdated(self, victim_seq: int) -> None:
+        self.attacked_at = self.sim.now
+        tx = Transaction(self.pid, self._attack_nonce, ATTACK_MARKER)
+        self._attack_nonce += 1
+        iid = InstanceId(self.pid, self._batch_counter)
+        self._batch_counter += 1
+        self.attack_iid = iid
+        batch = Batch(self.pid, iid.batch_no, (tx,))
+        cipher = self.obf.encrypt(batch.serialize(), self.rng, self.pid)
+        # Claim every replica perceived the transaction just before the
+        # victim's sequence number — a lie by now, hence rejected.
+        preds = tuple(victim_seq - 1_000 for _ in range(self.n))
+        self._s_ref[iid] = victim_seq - 1_000
+        self._instance(iid).propose(cipher, preds)
+
+    def _on_decide(self, iid, v, m) -> None:
+        if iid == self.attack_iid:
+            self.attack_decision = v
+        super()._on_decide(iid, v, m)
+
+
+def run_lyra_attack(scenario, *, seed: int = 7, duration_us: int = 12_000_000):
+    Fig1Outcome = _fig1_outcome_cls()
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    n, f = scenario.n, scenario.f
+    topology = Topology(n, scenario.regions())
+    registry = KeyRegistry(seed)
+    threshold = ThresholdScheme(2 * f + 1, n, seed=seed)
+    obf = make_obfuscation("vss", 2 * f + 1, n, seed=seed)
+
+    nodes: List[LyraNode] = []
+    for pid in range(n):
+        cfg = LyraConfig(
+            batch_size=1,
+            batch_timeout_us=20 * MILLISECONDS,
+            commit=CommitConfig(lambda_us=5 * MILLISECONDS),
+            warmup_rounds=3,
+            warmup_spacing_us=200 * MILLISECONDS,
+        )
+        cls = LyraBackdatingAttacker if pid == 1 else LyraNode
+        nodes.append(
+            cls(
+                pid,
+                sim,
+                n=n,
+                f=f,
+                registry=registry,
+                threshold=threshold,
+                obfuscation=obf,
+                config=cfg,
+                rng=rng,
+            )
+        )
+
+    latency = GeoLatencyModel(topology.placement, jitter=0.0, rng=rng)
+    network = Network(
+        sim, latency, config=NetworkConfig(delta_us=200 * MILLISECONDS)
+    )
+    for node in nodes:
+        network.register(node, replica=True)
+
+    alice_pid = topology.place(scenario.victim_region)
+    alice = OpenLoopClient(
+        alice_pid,
+        sim,
+        0,
+        interval_us=1_000_000,
+        start_at_us=1_500_000,  # after warm-up
+        count=1,
+        body=VICTIM_MARKER,
+    )
+    network.register(alice, replica=False)
+
+    for node in nodes:
+        node.start()
+    sim.run(until=duration_us)
+
+    attacker: LyraBackdatingAttacker = nodes[1]  # type: ignore[assignment]
+    output = nodes[0].output_sequence()
+    victim_pos = attacker_pos = None
+    # Identify positions via executed plaintexts at node 0.
+    for idx, entry in enumerate(nodes[0].commit.output_log):
+        plaintext = nodes[0].commit._plaintexts.get(entry.instance)
+        if plaintext is None:
+            continue
+        try:
+            batch = Batch.deserialize(
+                entry.instance.proposer, entry.instance.batch_no, plaintext
+            )
+        except ValueError:
+            continue
+        if batch_contains(batch, VICTIM_MARKER) and victim_pos is None:
+            victim_pos = idx
+        if batch_contains(batch, ATTACK_MARKER) and attacker_pos is None:
+            attacker_pos = idx
+    succeeded = (
+        attacker_pos < victim_pos
+        if victim_pos is not None and attacker_pos is not None
+        else (False if victim_pos is not None else None)
+    )
+    return Fig1Outcome(
+        attack_succeeded=succeeded,
+        victim_position=victim_pos,
+        attacker_position=attacker_pos,
+        attacker_observed_plaintext=attacker.observed_plaintext_at is not None,
+        attacker_rejected=attacker.attack_decision == 0,
+        detail=(
+            f"plaintext visible at {attacker.observed_plaintext_at}us "
+            f"(post-commit), backdated attack decision="
+            f"{attacker.attack_decision}, victim@{victim_pos} "
+            f"attacker@{attacker_pos}"
+        ),
+    )
+
+
+__all__ = ["run_pompe_attack", "run_lyra_attack", "LyraBackdatingAttacker"]

@@ -1,0 +1,74 @@
+"""Experiment configuration shared by all harness entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.topology import EVAL_REGIONS
+from repro.sim.engine import MILLISECONDS, SECONDS
+
+
+@dataclass
+class ExperimentConfig:
+    """One cluster run (Lyra or a baseline).
+
+    Defaults mirror §VI: three regions, batch 800, λ = 5 ms, 1 Gbps NICs.
+    """
+
+    n_nodes: int = 4
+    #: Byzantine resilience; default is the maximum f with n > 3f.
+    f: Optional[int] = None
+    regions: Sequence[str] = field(default_factory=lambda: list(EVAL_REGIONS))
+    seed: int = 1
+
+    # Network.
+    delta_us: int = 150 * MILLISECONDS
+    jitter: float = 0.015
+    bandwidth_enabled: bool = True
+    rate_bps: float = 1_000_000_000.0
+    gst_us: int = 0  # 0 = synchronous from the start
+    adversary_max_delay_us: int = 400 * MILLISECONDS
+
+    # Protocol.
+    batch_size: int = 800
+    batch_timeout_us: int = 50 * MILLISECONDS
+    lambda_us: int = 5 * MILLISECONDS
+    #: §VI-D flooding mitigation: per-proposer instance rate cap (None=off).
+    max_proposer_rate_per_s: float | None = None
+    obfuscation: str = "vss"
+    check_dealing: bool = True
+    status_interval_us: int = 25 * MILLISECONDS
+    warmup_rounds: int = 4
+    warmup_spacing_us: int = 200 * MILLISECONDS
+    clock_skew_max_us: int = 20 * MILLISECONDS
+
+    # Workload.
+    clients_per_node: int = 1
+    client_window: int = 50
+    duration_us: int = 5 * SECONDS
+    #: Measurement starts after clients have ramped up.
+    measure_after_us: Optional[int] = None
+
+    # Cost model scaling (1.0 = DESIGN.md §5 calibration).
+    cpu_cost_scale: float = 1.0
+
+    def resolved_f(self) -> int:
+        if self.f is not None:
+            if self.n_nodes <= 3 * self.f:
+                raise ValueError(f"n={self.n_nodes} does not tolerate f={self.f}")
+            return self.f
+        return max(0, (self.n_nodes - 1) // 3)
+
+    def client_start_us(self) -> int:
+        """Clients start once distance warm-up has converged."""
+        return self.warmup_rounds * self.warmup_spacing_us + 2 * self.warmup_spacing_us
+
+    def measurement_start_us(self) -> int:
+        if self.measure_after_us is not None:
+            return self.measure_after_us
+        # Skip the first second of client traffic (pipeline fill).
+        return self.client_start_us() + 1 * SECONDS
+
+
+__all__ = ["ExperimentConfig"]

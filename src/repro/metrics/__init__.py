@@ -1,0 +1,36 @@
+"""Measurement utilities: latency statistics, throughput windows, and the
+capacity model used to extrapolate saturation throughput to large n
+(DESIGN.md §2, substitution for real-testbed throughput runs)."""
+
+from repro.metrics.stats import LatencySummary, percentile, summarize_latencies
+from repro.metrics.throughput import ThroughputWindow
+from repro.metrics.capacity import (
+    CapacityInputs,
+    lyra_capacity,
+    pompe_capacity,
+    lyra_instance_profile,
+    pompe_cert_profile,
+    lyra_loaded_latency_us,
+    pompe_loaded_latency_us,
+)
+from repro.metrics.tracelog import TraceLog, install_lyra_tracing
+from repro.metrics.ascii_chart import chart_fig2, chart_fig3, render_chart
+
+__all__ = [
+    "LatencySummary",
+    "percentile",
+    "summarize_latencies",
+    "ThroughputWindow",
+    "CapacityInputs",
+    "lyra_capacity",
+    "pompe_capacity",
+    "lyra_instance_profile",
+    "pompe_cert_profile",
+    "lyra_loaded_latency_us",
+    "pompe_loaded_latency_us",
+    "TraceLog",
+    "install_lyra_tracing",
+    "render_chart",
+    "chart_fig2",
+    "chart_fig3",
+]

@@ -1,0 +1,109 @@
+"""Terminal line charts for experiment results.
+
+The repository has no plotting dependency; these render Fig. 2/3-style
+series as ASCII so examples and ``python -m repro`` output can *show* the
+shapes the paper plots (who wins, where the crossover falls), not just
+tabulate them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Plot glyphs per series, in assignment order.
+MARKERS = "ox+*#@"
+
+
+def render_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series onto one character grid.
+
+    Points are nearest-cell plotted (no interpolation); overlapping points
+    show the later series' marker.  Returns a printable multi-line string
+    with axes, ranges, and a legend.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        return (height - 1 - row), col
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:>10.1f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    x_axis = f"{x_min:g}"
+    pad = width - len(x_axis) - len(f"{x_max:g}")
+    lines.append(" " * 13 + x_axis + " " * max(1, pad) + f"{x_max:g}")
+    if x_label or y_label:
+        lines.append(" " * 13 + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 13 + legend)
+    return "\n".join(lines)
+
+
+def chart_fig3(rows: Sequence[dict], **kwargs) -> str:
+    """Fig. 3 rows -> throughput chart (k tx/s vs n)."""
+    return render_chart(
+        {
+            "lyra": [(r["n"], r["lyra_ktps"]) for r in rows],
+            "pompe": [(r["n"], r["pompe_ktps"]) for r in rows],
+        },
+        title=kwargs.pop("title", "Fig. 3 — throughput (k tx/s) vs n"),
+        x_label="nodes",
+        y_label="k tx/s",
+        **kwargs,
+    )
+
+
+def chart_fig2(rows: Sequence[dict], *, loaded: bool = True, **kwargs) -> str:
+    """Fig. 2 rows -> latency chart (ms vs n)."""
+    lyra_key = "lyra_loaded_ms" if loaded else "lyra_latency_ms"
+    pompe_key = "pompe_loaded_ms" if loaded else "pompe_latency_ms"
+    return render_chart(
+        {
+            "lyra": [(r["n"], r[lyra_key]) for r in rows],
+            "pompe": [(r["n"], r[pompe_key]) for r in rows],
+        },
+        title=kwargs.pop(
+            "title",
+            "Fig. 2 — commit latency (ms) vs n"
+            + (" [at operating load]" if loaded else ""),
+        ),
+        x_label="nodes",
+        y_label="ms",
+        **kwargs,
+    )
+
+
+__all__ = ["render_chart", "chart_fig2", "chart_fig3", "MARKERS"]

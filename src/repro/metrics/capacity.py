@@ -1,0 +1,289 @@
+"""Analytical saturation-throughput model (Fig. 3 extrapolation).
+
+A pure-Python simulator cannot reproduce a Rust prototype's absolute
+throughput (repro note in DESIGN.md §2), so large-n throughput is derived
+from a *capacity model*: per-instance CPU and NIC budgets — with per-op
+costs identical to the simulator's cost model, and message/byte counts
+matching what the message-level simulator actually sends (validated by
+``tests/test_capacity_vs_sim.py``) — combined into per-resource ceilings:
+
+- **Lyra** (leaderless): every replica processes every instance, so the
+  binding constraints are any single replica's CPU and ingress NIC over the
+  *aggregate* instance rate, plus each proposer's egress for its own
+  batches.  Aggregate capacity is flat-to-rising in n (more proposers) until
+  the per-replica ceilings bite.
+- **Pompē** (leader-based): the leader disseminates every certified batch
+  to all n replicas (egress ∝ n per batch) and every replica verifies the
+  2f+1 timestamp signatures in every certificate (CPU ∝ n per batch) — both
+  per-transaction budgets shrink with n, so capacity decays ~1/n.
+
+The model returns the ceiling *and* the name of the binding resource so
+ablation benches can show what moves the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.crypto.cost import CryptoCosts, DEFAULT_COSTS
+from repro.core.types import TX_PAYLOAD_BYTES
+from repro.net.message import HEADER_BYTES
+
+#: Bytes of a signature share / full signature / plain signature on the wire.
+_SHARE_B = 48
+_TSIG_B = 96
+_SIG_B = 64
+_PIGGYBACK_B = 48  # locked + min-pending + Merkle root
+
+
+@dataclass
+class CapacityInputs:
+    """Calibration knobs for the capacity model."""
+
+    batch_size: int = 800
+    costs: CryptoCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    nic_bps: float = 1_000_000_000.0
+    #: Effective parallel speed-up for crypto work (16 vCPUs in the paper's
+    #: instances; verification parallelises but the protocol thread, codec
+    #: and kernel take their share — 4 effective cores calibrates Lyra's
+    #: replica-CPU ceiling to the paper's 240k tx/s at n = 100).
+    cores: float = 4.0
+    #: Offered load per node: closed-loop clients keep a bounded pipeline
+    #: of batches in flight per proposer (≈ pipeline depth × batch size /
+    #: commit latency ≈ 3 × 800 / 0.75 s ≈ 3.2k tx/s per node).
+    offered_per_node_tps: float = 3_200.0
+    #: Pompē ordering-phase capacity per node (timestamp collection + cert
+    #: assembly); the ordering phase is distributed so this scales with n.
+    pompe_orderer_per_node_tps: float = 5_000.0
+    #: VSS adds per-recipient sealed shares to each cipher.
+    vss_share_overhead_b: int = 16
+    vss_commitment_b: int = 17
+
+    def batch_bytes(self) -> int:
+        return self.batch_size * TX_PAYLOAD_BYTES
+
+    def lyra_init_bytes(self, n: int, f: int) -> int:
+        # cipher body + sealed shares + Feldman commitments + S_t + sig.
+        return (
+            HEADER_BYTES
+            + self.batch_bytes()
+            + n * self.vss_share_overhead_b
+            + (2 * f + 1) * self.vss_commitment_b
+            + 8 * n
+            + _SIG_B
+        )
+
+    def pompe_cert_bytes(self, f: int) -> int:
+        # batch + 2f+1 signed timestamps.
+        return HEADER_BYTES + self.batch_bytes() + (2 * f + 1) * (_SIG_B + 8)
+
+
+def lyra_instance_profile(
+    n: int, f: int, inputs: CapacityInputs
+) -> Dict[str, float]:
+    """Per-BOC-instance budgets at one replica (good case).
+
+    CPU in µs of *single-core* work; bytes split by role.
+    """
+    c = inputs.costs
+    q = 2 * f + 1
+    cpu = (
+        c.verify_us  # INIT signature
+        + c.vss_check_dealing_us  # dealing check before validating
+        + c.hash_us(inputs.batch_bytes())
+        + c.share_sign_us  # our VOTE(1)
+        + q * c.share_verify_us  # verify a quorum of shares (then combine)
+        + c.combine_us(q)
+        + c.threshold_verify_us  # first DELIVER proof
+        + 2.0 * n  # vote/aux/status bookkeeping
+        + c.vss_partial_decrypt_us  # our decryption share
+        + c.vss_decrypt_us(q)  # reconstruct the batch key
+    )
+    vote_bytes = HEADER_BYTES + _SHARE_B + 32 + 8 + _PIGGYBACK_B
+    deliver_bytes = HEADER_BYTES + _TSIG_B + 32 + _PIGGYBACK_B
+    aux_bytes = HEADER_BYTES + 12 + _PIGGYBACK_B
+    dshare_bytes = HEADER_BYTES + 32 + 20 + _PIGGYBACK_B
+    init_bytes = inputs.lyra_init_bytes(n, f)
+    egress_participant = n * (vote_bytes + deliver_bytes + aux_bytes + dshare_bytes)
+    ingress = init_bytes + n * (
+        vote_bytes + deliver_bytes + aux_bytes + dshare_bytes
+    )
+    egress_proposer_extra = n * init_bytes
+    return {
+        "cpu_us": cpu,
+        "ingress_bytes": float(ingress),
+        "egress_participant_bytes": float(egress_participant),
+        "egress_proposer_bytes": float(egress_proposer_extra),
+        "init_bytes": float(init_bytes),
+    }
+
+
+def lyra_capacity(
+    n: int, f: int, inputs: CapacityInputs | None = None
+) -> Tuple[float, str]:
+    """Saturation throughput (tx/s) of Lyra at ``n`` nodes and the binding
+    resource name."""
+    inputs = inputs or CapacityInputs()
+    prof = lyra_instance_profile(n, f, inputs)
+    batch = inputs.batch_size
+    nic_Bps = inputs.nic_bps / 8.0
+
+    # Aggregate instance-rate ceilings imposed by ONE replica's resources
+    # (every replica handles every instance).
+    cpu_rate = inputs.cores * 1_000_000.0 / prof["cpu_us"]
+    ingress_rate = nic_Bps / prof["ingress_bytes"]
+    egress_rate = nic_Bps / prof["egress_participant_bytes"]
+    # Proposer egress limits each node's OWN proposal rate; aggregate scales
+    # with n (leaderless: every node proposes).
+    own_rate = nic_Bps / (
+        prof["egress_proposer_bytes"] + prof["egress_participant_bytes"]
+    )
+    proposer_bound = n * own_rate
+
+    bounds = {
+        "replica-cpu": cpu_rate * batch,
+        "replica-ingress": ingress_rate * batch,
+        "replica-egress": egress_rate * batch,
+        "proposer-egress": proposer_bound * batch,
+        "offered-load": n * inputs.offered_per_node_tps,
+    }
+    resource = min(bounds, key=bounds.get)
+    return bounds[resource], resource
+
+
+def pompe_cert_profile(
+    n: int, f: int, inputs: CapacityInputs
+) -> Dict[str, float]:
+    """Per-certificate budgets for Pompē (ordering + HotStuff consensus)."""
+    c = inputs.costs
+    q = 2 * f + 1
+    cert_bytes = inputs.pompe_cert_bytes(f)
+    # Replica (non-leader) CPU per certificate: verify the 2f+1 timestamp
+    # signatures (the quadratic term of §VI-C), sign one ordering timestamp
+    # for the proposer, plus its HotStuff vote shares (3 phases amortised
+    # over certs in a block — counted per cert, pipelined blocks of ~4).
+    certs_per_block = 4.0
+    replica_cpu = (
+        q * c.verify_us
+        + c.sign_us  # ordering-phase timestamp signature
+        + (3 * c.share_sign_us + c.hash_us(cert_bytes)) / certs_per_block
+    )
+    # Leader CPU per certificate: everything a replica does plus combining
+    # three QCs per block (verify quorum shares + combine).
+    leader_cpu = replica_cpu + (
+        3 * (q * c.share_verify_us + c.combine_us(q))
+    ) / certs_per_block
+    # Leader egress per certificate: the proposal replicated to n replicas
+    # plus three small QC-phase broadcasts per block.
+    phase_msg = HEADER_BYTES + _TSIG_B + 64
+    leader_egress = n * cert_bytes + (3 * n * phase_msg) / certs_per_block
+    # Ordering phase: the proposing node broadcasts the batch to n replicas
+    # and receives n signed timestamps.
+    orderer_egress = n * (HEADER_BYTES + inputs.batch_bytes())
+    return {
+        "replica_cpu_us": replica_cpu,
+        "leader_cpu_us": leader_cpu,
+        "leader_egress_bytes": float(leader_egress),
+        "orderer_egress_bytes": float(orderer_egress),
+        "cert_bytes": float(cert_bytes),
+    }
+
+
+def pompe_capacity(
+    n: int, f: int, inputs: CapacityInputs | None = None
+) -> Tuple[float, str]:
+    """Saturation throughput (tx/s) of Pompē at ``n`` nodes and the binding
+    resource name."""
+    inputs = inputs or CapacityInputs()
+    prof = pompe_cert_profile(n, f, inputs)
+    batch = inputs.batch_size
+    nic_Bps = inputs.nic_bps / 8.0
+
+    leader_egress_rate = nic_Bps / prof["leader_egress_bytes"]
+    leader_cpu_rate = inputs.cores * 1_000_000.0 / prof["leader_cpu_us"]
+    replica_cpu_rate = inputs.cores * 1_000_000.0 / prof["replica_cpu_us"]
+    # Ordering phase is distributed (every node can collect timestamps), so
+    # its egress bound scales with n.
+    orderer_rate = n * nic_Bps / prof["orderer_egress_bytes"]
+
+    bounds = {
+        "leader-egress": leader_egress_rate * batch,
+        "leader-cpu": leader_cpu_rate * batch,
+        "replica-cpu": replica_cpu_rate * batch,
+        "orderer-egress": orderer_rate * batch,
+        # The distributed ordering phase (timestamp quorums, certificate
+        # assembly) processes ~5k tx/s per node; at small n it is what
+        # keeps Pompē's curve rising before the leader ceiling bends it
+        # down (the paper's peak sits around 16-31 nodes).
+        "ordering-phase": n * inputs.pompe_orderer_per_node_tps,
+    }
+    resource = min(bounds, key=bounds.get)
+    return bounds[resource], resource
+
+
+def _mm1_queue_wait_us(service_us: float, utilisation: float) -> float:
+    """Mean M/M/1 queueing delay (wait + service) at the bottleneck."""
+    rho = min(0.98, max(0.0, utilisation))
+    if rho <= 0:
+        return service_us
+    return service_us / (1.0 - rho)
+
+
+def lyra_loaded_latency_us(
+    n: int,
+    f: int,
+    base_us: float,
+    inputs: CapacityInputs | None = None,
+    *,
+    utilisation: float = 0.8,
+) -> float:
+    """Commit latency at the benchmark operating point: the unloaded
+    protocol latency plus queueing at the bottleneck resource.
+
+    Lyra's bottleneck quantum (one instance's CPU at a replica) is small
+    (a few ms even at n = 100), so queueing adds little — the paper's
+    observation that Lyra latency is "relatively stable"."""
+    inputs = inputs or CapacityInputs()
+    prof = lyra_instance_profile(n, f, inputs)
+    service = prof["cpu_us"] / inputs.cores
+    capacity, _ = lyra_capacity(n, f, inputs)
+    offered = n * inputs.offered_per_node_tps
+    rho = min(utilisation, offered / max(1.0, capacity) * utilisation)
+    return base_us + _mm1_queue_wait_us(service, rho)
+
+
+def pompe_loaded_latency_us(
+    n: int,
+    f: int,
+    base_us: float,
+    inputs: CapacityInputs | None = None,
+    *,
+    utilisation: float = 0.95,
+) -> float:
+    """Pompē's bottleneck quantum is the leader's per-block dissemination
+    (tens of ms at n = 100), and saturation benchmarks run the leader hot:
+    queueing multiplies a large service time, which is where the paper's
+    2x latency gap at n > 60 comes from (see EXPERIMENTS.md)."""
+    inputs = inputs or CapacityInputs()
+    prof = pompe_cert_profile(n, f, inputs)
+    nic_Bps = inputs.nic_bps / 8.0
+    service = max(
+        prof["leader_egress_bytes"] / nic_Bps * 1_000_000.0,
+        prof["leader_cpu_us"] / inputs.cores,
+    )
+    capacity, _ = pompe_capacity(n, f, inputs)
+    offered = n * inputs.offered_per_node_tps
+    rho = min(utilisation, offered / max(1.0, capacity) * utilisation)
+    return base_us + _mm1_queue_wait_us(service, rho)
+
+
+__all__ = [
+    "CapacityInputs",
+    "lyra_capacity",
+    "pompe_capacity",
+    "lyra_instance_profile",
+    "pompe_cert_profile",
+    "lyra_loaded_latency_us",
+    "pompe_loaded_latency_us",
+]

@@ -1,0 +1,51 @@
+"""Windowed throughput accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sim.engine import SECONDS
+
+
+@dataclass
+class ThroughputWindow:
+    """Accumulates (timestamp, count) completion events and reports rates."""
+
+    events: List[Tuple[int, int]] = field(default_factory=list)
+
+    def record(self, time_us: int, count: int = 1) -> None:
+        self.events.append((time_us, count))
+
+    def total(self, start_us: int = 0, end_us: int | None = None) -> int:
+        return sum(
+            c
+            for t, c in self.events
+            if t >= start_us and (end_us is None or t < end_us)
+        )
+
+    def rate_tps(self, start_us: int, end_us: int) -> float:
+        """Transactions per second over [start_us, end_us)."""
+        window = end_us - start_us
+        if window <= 0:
+            return 0.0
+        return self.total(start_us, end_us) * float(SECONDS) / window
+
+    def steady_state_tps(self, warmup_us: int, end_us: int) -> float:
+        """Rate excluding the ramp-up prefix."""
+        return self.rate_tps(warmup_us, end_us)
+
+    def timeline(self, bucket_us: int) -> List[Tuple[int, float]]:
+        """Per-bucket rates, for plotting throughput over time."""
+        if not self.events:
+            return []
+        buckets: dict = {}
+        for t, c in self.events:
+            buckets[t // bucket_us] = buckets.get(t // bucket_us, 0) + c
+        return [
+            (b * bucket_us, c * float(SECONDS) / bucket_us)
+            for b, c in sorted(buckets.items())
+        ]
+
+
+__all__ = ["ThroughputWindow"]

@@ -1,0 +1,142 @@
+"""Structured protocol tracing.
+
+A :class:`TraceLog` collects timestamped protocol events (proposed,
+decided, committed, revealed/executed) emitted by instrumented nodes.
+Uses:
+
+- **latency decomposition** — split commit latency into the paper's
+  phases: BOC decision (3 message delays), Commit-protocol lag
+  (piggyback/heartbeat exchange), and the commit-reveal round;
+- **debugging** — reconstruct exactly what one instance did at one node;
+- **artifacts** — dump runs to JSONL for offline analysis.
+
+Install with :func:`install_lyra_tracing` on a built (un-run) cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.types import InstanceId
+
+#: Canonical event kinds emitted by instrumented Lyra nodes, in pipeline
+#: order (used by the decomposition below).
+PHASES = ("proposed", "decided", "committed", "executed")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_us: int
+    node: int
+    kind: str
+    instance: Optional[Tuple[int, int]] = None  # (proposer, batch_no)
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "t": self.time_us,
+                "node": self.node,
+                "kind": self.kind,
+                "iid": list(self.instance) if self.instance else None,
+                "detail": dict(self.detail),
+            }
+        )
+
+
+class TraceLog:
+    """An append-only protocol event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time_us: int,
+        node: int,
+        kind: str,
+        instance: Optional[InstanceId] = None,
+        **detail: Any,
+    ) -> None:
+        iid = (instance.proposer, instance.batch_no) if instance else None
+        self.events.append(
+            TraceEvent(time_us, node, kind, iid, tuple(sorted(detail.items())))
+        )
+
+    # ------------------------------------------------------------------
+    def for_instance(self, instance: InstanceId) -> List[TraceEvent]:
+        key = (instance.proposer, instance.batch_no)
+        return [e for e in self.events if e.instance == key]
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def first_times(
+        self, instance: InstanceId, node: Optional[int] = None
+    ) -> Dict[str, int]:
+        """First occurrence time of each event kind for one instance
+        (optionally restricted to one node)."""
+        out: Dict[str, int] = {}
+        for e in self.for_instance(instance):
+            if node is not None and e.node != node:
+                continue
+            out.setdefault(e.kind, e.time_us)
+        return out
+
+    def phase_durations_us(self, instance: InstanceId, node: int) -> Dict[str, int]:
+        """Per-phase durations at ``node`` following :data:`PHASES` order."""
+        times = self.first_times(instance, node)
+        out: Dict[str, int] = {}
+        for earlier, later in zip(PHASES, PHASES[1:]):
+            if earlier in times and later in times:
+                out[f"{earlier}->{later}"] = times[later] - times[earlier]
+        if PHASES[0] in times and PHASES[-1] in times:
+            out["total"] = times[PHASES[-1]] - times[PHASES[0]]
+        return out
+
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: str) -> int:
+        with open(path, "w") as fh:
+            for e in self.events:
+                fh.write(e.to_json() + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TraceLog":
+        log = cls()
+        with open(path) as fh:
+            for line in fh:
+                raw = json.loads(line)
+                log.events.append(
+                    TraceEvent(
+                        raw["t"],
+                        raw["node"],
+                        raw["kind"],
+                        tuple(raw["iid"]) if raw.get("iid") else None,
+                        tuple(sorted((raw.get("detail") or {}).items())),
+                    )
+                )
+        return log
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def install_lyra_tracing(cluster) -> TraceLog:
+    """Instrument every node of a built (not yet run) Lyra cluster."""
+    log = TraceLog()
+    for node in cluster.nodes:
+        node.tracer = (
+            lambda kind, iid, node=node, **detail: log.record(
+                node.sim.now, node.pid, kind, iid, **detail
+            )
+        )
+    return log
+
+
+__all__ = ["TraceLog", "TraceEvent", "install_lyra_tracing", "PHASES"]

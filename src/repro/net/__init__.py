@@ -1,0 +1,47 @@
+"""Simulated wide-area network substrate.
+
+Models the paper's experimental platform: nodes spread over AWS regions on
+three continents, connected by authenticated reliable channels whose
+latencies follow published inter-region figures (including the triangle-
+inequality violations of Fig. 1), with per-node NIC bandwidth and a
+partial-synchrony adversary that may delay messages until GST.
+"""
+
+from repro.net.message import Message, estimate_size
+from repro.net.latency import (
+    LatencyModel,
+    GeoLatencyModel,
+    UniformLatencyModel,
+    AWS_ONE_WAY_MS,
+    triangle_violations,
+)
+from repro.net.topology import Topology, EVAL_REGIONS, FIG1_REGIONS
+from repro.net.bandwidth import BandwidthModel, NicQueue
+from repro.net.adversary import (
+    NetworkAdversary,
+    NullAdversary,
+    PartialSynchronyAdversary,
+    TargetedDelayAdversary,
+)
+from repro.net.network import Network, NetworkConfig
+
+__all__ = [
+    "Message",
+    "estimate_size",
+    "LatencyModel",
+    "GeoLatencyModel",
+    "UniformLatencyModel",
+    "AWS_ONE_WAY_MS",
+    "triangle_violations",
+    "Topology",
+    "EVAL_REGIONS",
+    "FIG1_REGIONS",
+    "BandwidthModel",
+    "NicQueue",
+    "NetworkAdversary",
+    "NullAdversary",
+    "PartialSynchronyAdversary",
+    "TargetedDelayAdversary",
+    "Network",
+    "NetworkConfig",
+]

@@ -1,0 +1,164 @@
+"""WAN latency models.
+
+The geo model reproduces the paper's platform: AWS regions on three
+continents (§VI: Oregon, Ireland, Sydney) plus the Fig. 1 regions (Tokyo,
+Singapore, São Paulo) whose paths violate the triangle inequality — the
+property reordering attackers exploit.  Latencies are *one-way* milliseconds
+(half of published inter-region RTTs); the Tokyo→São Paulo path is encoded
+with the detour advantage Fig. 1 describes (going through Singapore is
+faster than the direct path), which [26] shows occurs on real WANs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.sim.engine import MILLISECONDS
+from repro.sim.rng import RngRegistry
+
+#: One-way latencies in milliseconds between AWS regions.  Symmetric;
+#: intra-region latency is ``INTRA_REGION_MS``.
+AWS_ONE_WAY_MS: Dict[Tuple[str, str], float] = {
+    ("oregon", "ireland"): 68.0,
+    ("oregon", "sydney"): 70.0,
+    ("ireland", "sydney"): 131.0,
+    ("tokyo", "oregon"): 49.0,
+    ("tokyo", "ireland"): 105.0,
+    ("tokyo", "sydney"): 52.0,
+    ("tokyo", "singapore"): 35.0,
+    ("singapore", "oregon"): 82.0,
+    ("singapore", "ireland"): 90.0,
+    ("singapore", "sydney"): 46.0,
+    ("saopaulo", "oregon"): 89.0,
+    ("saopaulo", "ireland"): 92.0,
+    ("saopaulo", "sydney"): 160.0,
+    # Fig. 1 violation: direct Tokyo->Sao Paulo is slower than routing the
+    # information through Singapore (35 + 105 = 140 < 150).
+    ("tokyo", "saopaulo"): 150.0,
+    ("singapore", "saopaulo"): 105.0,
+}
+
+INTRA_REGION_MS = 0.4
+
+
+def region_latency_ms(a: str, b: str) -> float:
+    """One-way base latency between two regions in milliseconds."""
+    if a == b:
+        return INTRA_REGION_MS
+    value = AWS_ONE_WAY_MS.get((a, b))
+    if value is None:
+        value = AWS_ONE_WAY_MS.get((b, a))
+    if value is None:
+        raise KeyError(f"no latency data for region pair ({a}, {b})")
+    return value
+
+
+def triangle_violations(
+    regions: Iterable[str],
+) -> List[Tuple[str, str, str, float]]:
+    """Find region triples where relaying beats the direct path.
+
+    Returns tuples ``(src, via, dst, advantage_ms)`` with ``advantage_ms > 0``
+    meaning ``d(src,via) + d(via,dst) < d(src,dst)`` — i.e. an observer at
+    ``via`` can react to ``src``'s message and still beat it to ``dst``.
+    """
+    regions = list(dict.fromkeys(regions))
+    out: List[Tuple[str, str, str, float]] = []
+    for src in regions:
+        for via in regions:
+            if via == src:
+                continue
+            for dst in regions:
+                if dst in (src, via):
+                    continue
+                direct = region_latency_ms(src, dst)
+                relay = region_latency_ms(src, via) + region_latency_ms(via, dst)
+                if relay < direct:
+                    out.append((src, via, dst, direct - relay))
+    return out
+
+
+class LatencyModel:
+    """Interface: sample a one-way propagation delay in microseconds."""
+
+    def one_way_us(self, src: int, dst: int) -> int:
+        raise NotImplementedError
+
+    def base_us(self, src: int, dst: int) -> int:
+        """Jitter-free base latency (used by distance-prediction tests)."""
+        raise NotImplementedError
+
+
+class UniformLatencyModel(LatencyModel):
+    """Constant latency between every pair — the unit-test workhorse."""
+
+    def __init__(self, delay_us: int = 1000, *, self_delay_us: int = 10) -> None:
+        self.delay_us = int(delay_us)
+        self.self_delay_us = int(self_delay_us)
+
+    def base_us(self, src: int, dst: int) -> int:
+        return self.self_delay_us if src == dst else self.delay_us
+
+    def one_way_us(self, src: int, dst: int) -> int:
+        return self.base_us(src, dst)
+
+
+class GeoLatencyModel(LatencyModel):
+    """Region-matrix latency with multiplicative truncated-normal jitter.
+
+    ``placement`` maps pid -> region name.  ``jitter`` is the standard
+    deviation as a fraction of the base latency; samples are truncated at
+    ``±3σ`` and never below 20% of base (queueing can add delay but light
+    does not speed up).
+    """
+
+    def __init__(
+        self,
+        placement: Mapping[int, str],
+        *,
+        jitter: float = 0.03,
+        rng: RngRegistry | None = None,
+    ) -> None:
+        # Keep a live reference when given a dict: topologies may place
+        # auxiliary processes (clients, attackers) after the model exists.
+        self.placement = placement if isinstance(placement, dict) else dict(placement)
+        self.jitter = float(jitter)
+        self._rng = (rng or RngRegistry(0)).get("net", "jitter")
+        # Pre-resolve base latencies for every known pid pair lazily.
+        self._base_cache: Dict[Tuple[int, int], int] = {}
+
+    def region_of(self, pid: int) -> str:
+        return self.placement[pid]
+
+    def base_us(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        cached = self._base_cache.get(key)
+        if cached is None:
+            if src == dst:
+                cached = 10
+            else:
+                ms = region_latency_ms(self.placement[src], self.placement[dst])
+                cached = int(ms * MILLISECONDS)
+            self._base_cache[key] = cached
+        return cached
+
+    def one_way_us(self, src: int, dst: int) -> int:
+        base = self.base_us(src, dst)
+        if self.jitter <= 0 or src == dst:
+            return base
+        noise = float(self._rng.normal(0.0, self.jitter))
+        noise = max(-3 * self.jitter, min(3 * self.jitter, noise))
+        return max(int(base * 0.2), int(base * (1.0 + noise)))
+
+
+__all__ = [
+    "AWS_ONE_WAY_MS",
+    "INTRA_REGION_MS",
+    "region_latency_ms",
+    "triangle_violations",
+    "LatencyModel",
+    "UniformLatencyModel",
+    "GeoLatencyModel",
+]

@@ -1,0 +1,134 @@
+"""The simulated network: reliable authenticated channels.
+
+Delivery time of a message =
+    egress serialisation (NIC queue at the sender)
+  + propagation latency (region matrix + jitter)
+  + adversarial delay (zero after GST)
+  + ingress serialisation (NIC queue at the receiver)
+
+Channels are reliable and FIFO-per-(src, dst) in expectation but *not*
+globally ordered, matching §II-A.  Authentication is by construction: the
+receiver learns the true sender pid (processes cannot impersonate each
+other), the cryptographic layer on top adds transferable signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.adversary import NetworkAdversary, NullAdversary
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel, UniformLatencyModel
+from repro.net.message import Message
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.process import SimProcess
+
+#: Hook signature: (time_us, src, dst, message) -> None
+TraceHook = Callable[[int, int, int, Message], None]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunables for one simulated network."""
+
+    #: Post-GST bound on correct-to-correct message delay (µs).  Protocols
+    #: read this as their Δ.  Must dominate the worst physical path.
+    delta_us: int = 150 * MILLISECONDS
+    #: Enable NIC bandwidth queueing (disable to isolate protocol logic).
+    bandwidth_enabled: bool = True
+    #: NIC line rate in bits/s (uniform across nodes unless a dict).
+    rate_bps: float | Dict[int, float] = BandwidthModel.DEFAULT_RATE
+    #: Enforce the Δ bound after GST by clamping residual adversarial delay.
+    clamp_after_gst: bool = True
+
+
+class Network:
+    """Connects :class:`SimProcess` instances over simulated channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        adversary: Optional[NetworkAdversary] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or UniformLatencyModel()
+        self.adversary = adversary or NullAdversary()
+        self.config = config or NetworkConfig()
+        self.bandwidth = BandwidthModel(
+            sim, rate_bps=self.config.rate_bps, enabled=self.config.bandwidth_enabled
+        )
+        self._processes: Dict[int, SimProcess] = {}
+        self._replicas: List[int] = []
+        self._trace_hooks: List[TraceHook] = []
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, process: SimProcess, *, replica: bool = True) -> None:
+        """Add a process; ``replica=True`` adds it to the broadcast group."""
+        if process.pid in self._processes:
+            raise ValueError(f"pid {process.pid} already registered")
+        self._processes[process.pid] = process
+        if replica:
+            self._replicas.append(process.pid)
+            self._replicas.sort()
+        process.attach(self)
+
+    def pids(self) -> List[int]:
+        """Broadcast group: the replica pids, sorted."""
+        return list(self._replicas)
+
+    def process(self, pid: int) -> SimProcess:
+        return self._processes[pid]
+
+    def processes(self) -> List[SimProcess]:
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    @property
+    def delta_us(self) -> int:
+        return self.config.delta_us
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        """Observe every delivery (metrics, attack oracles, tests)."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Queue ``message`` from ``src`` to ``dst``; always delivers."""
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination pid {dst}")
+        departure = self.bandwidth.departure_time(src, message.size)
+        propagation = self.latency.one_way_us(src, dst)
+        extra = self.adversary.extra_delay_us(src, dst, message.size, self.sim.now)
+        if (
+            self.config.clamp_after_gst
+            and self.sim.now >= self.adversary.gst()
+        ):
+            # After GST the adversary cannot stretch delays past Δ.
+            extra = min(extra, max(0, self.config.delta_us - propagation))
+        ingress = self.bandwidth.ingress_delay_us(dst, message.size)
+        arrival = departure + propagation + extra + ingress
+        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+
+    def _deliver(self, src: int, dst: int, message: Message) -> None:
+        process = self._processes.get(dst)
+        if process is None or process.crashed:
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size
+        for hook in self._trace_hooks:
+            hook(self.sim.now, src, dst, message)
+        process.deliver(message, src)
+
+
+__all__ = ["Network", "NetworkConfig", "TraceHook"]

@@ -1,0 +1,60 @@
+"""Cluster topologies: pid -> region placement.
+
+§VI of the paper distributes servers equally between three data centres
+(Oregon, Ireland, Sydney).  :class:`Topology` produces that placement for
+replicas, and places auxiliary processes (clients, attackers) in arbitrary
+regions — needed for the Fig. 1 scenario where the attacker's location is
+what makes the attack possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: The evaluation platform of §VI.
+EVAL_REGIONS: List[str] = ["oregon", "ireland", "sydney"]
+
+#: The motivation scenario of Fig. 1 (Alice/Tokyo, Mallory/Singapore,
+#: Carole/São Paulo — a triple with a triangle-inequality violation).
+FIG1_REGIONS: List[str] = ["tokyo", "singapore", "saopaulo"]
+
+
+class Topology:
+    """Assigns process ids to regions.
+
+    Replica pids are ``0..n_replicas-1`` and are spread round-robin over
+    ``regions`` (equal distribution as in the paper).  Additional processes
+    are added with :meth:`place`.
+    """
+
+    def __init__(self, n_replicas: int, regions: Sequence[str] | None = None) -> None:
+        if n_replicas <= 0:
+            raise ValueError("need at least one replica")
+        self.regions = list(regions or EVAL_REGIONS)
+        self.n_replicas = n_replicas
+        self.placement: Dict[int, str] = {
+            pid: self.regions[pid % len(self.regions)] for pid in range(n_replicas)
+        }
+        self._next_pid = n_replicas
+
+    def place(self, region: str) -> int:
+        """Allocate a new pid in ``region`` (clients, attackers, ...)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.placement[pid] = region
+        return pid
+
+    def replicas(self) -> List[int]:
+        return list(range(self.n_replicas))
+
+    def in_region(self, region: str) -> List[int]:
+        return [pid for pid, r in self.placement.items() if r == region]
+
+    def region_of(self, pid: int) -> str:
+        return self.placement[pid]
+
+    def __len__(self) -> int:
+        return len(self.placement)
+
+
+__all__ = ["Topology", "EVAL_REGIONS", "FIG1_REGIONS"]

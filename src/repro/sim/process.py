@@ -1,0 +1,153 @@
+"""Simulated processes with a serialised-CPU cost model.
+
+A :class:`SimProcess` is one node of the distributed system.  Incoming
+messages are not handled instantaneously: each handler invocation may charge
+virtual CPU time (via :meth:`SimProcess.charge`), and the :class:`CpuModel`
+serialises that work — a node busy verifying a batch of signatures delays
+every later message, exactly the queueing behaviour that makes a HotStuff
+leader a bottleneck on real hardware.
+
+The class is transport-agnostic: a network (see :mod:`repro.net.network`)
+attaches itself and provides ``send``/``broadcast`` primitives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import TimerWheel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.message import Message
+    from repro.net.network import Network
+
+
+class CpuModel:
+    """A single serialised core with a virtual-time work queue.
+
+    ``acquire(cost)`` returns the completion time of a job of ``cost``
+    microseconds submitted now: the job starts when the core frees up and
+    runs for ``cost``.  With ``cost == 0`` the model is pass-through.
+    """
+
+    def __init__(self, sim: Simulator, *, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError("CPU speed must be positive")
+        self._sim = sim
+        self._speed = speed
+        self._free_at: int = 0
+        self.busy_time: int = 0
+
+    @property
+    def free_at(self) -> int:
+        return self._free_at
+
+    def acquire(self, cost_us: int) -> int:
+        """Reserve the core for ``cost_us`` of work; return completion time."""
+        if cost_us < 0:
+            raise ValueError("CPU cost must be non-negative")
+        scaled = int(round(cost_us / self._speed))
+        start = max(self._sim.now, self._free_at)
+        self._free_at = start + scaled
+        self.busy_time += scaled
+        return self._free_at
+
+    def utilisation(self, window_us: int) -> float:
+        """Fraction of the last ``window_us`` the core was busy (approx.)."""
+        if window_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window_us)
+
+
+class SimProcess:
+    """Base class for all simulated nodes (replicas, clients, attackers)."""
+
+    def __init__(self, pid: int, sim: Simulator, *, cpu_speed: float = 1.0) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.cpu = CpuModel(sim, speed=cpu_speed)
+        self.timers = TimerWheel(sim)
+        self.network: Optional["Network"] = None
+        self.crashed = False
+        self._handlers: Dict[str, Callable[["Message", int], None]] = {}
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the process is registered."""
+        self.network = network
+
+    def handler(self, kind: str, fn: Callable[["Message", int], None]) -> None:
+        """Register a dispatch handler for a message kind."""
+        self._handlers[kind] = fn
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, message: "Message") -> None:
+        """Send a point-to-point message (authenticated reliable channel)."""
+        if self.crashed:
+            return
+        assert self.network is not None, "process not attached to a network"
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        self.network.send(self.pid, dst, message)
+
+    def broadcast(self, message: "Message", *, include_self: bool = True) -> None:
+        """Send ``message`` to every process (optionally including self)."""
+        if self.crashed:
+            return
+        assert self.network is not None, "process not attached to a network"
+        for dst in self.network.pids():
+            if dst == self.pid and not include_self:
+                continue
+            self.send(dst, message)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliver(self, message: "Message", sender: int) -> None:
+        """Entry point used by the network; dispatches to ``on_message``."""
+        if self.crashed:
+            return
+        self.messages_received += 1
+        self.on_message(message, sender)
+
+    def on_message(self, message: "Message", sender: int) -> None:
+        """Dispatch on the message kind; subclasses may override entirely."""
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(message, sender)
+
+    # ------------------------------------------------------------------
+    # CPU accounting
+    # ------------------------------------------------------------------
+    def charge(self, cost_us: int, callback: Optional[Callable[[], None]] = None) -> None:
+        """Charge ``cost_us`` of CPU work; run ``callback`` when it completes.
+
+        Without a callback the work is accounted for (delaying later jobs)
+        but control continues synchronously — appropriate for costs whose
+        result is needed inline.
+        """
+        done_at = self.cpu.acquire(cost_us)
+        if callback is not None:
+            self.sim.schedule_at(done_at, callback)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop the process: drop all I/O and cancel timers."""
+        self.crashed = True
+        self.timers.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(pid={self.pid})"
+
+
+__all__ = ["SimProcess", "CpuModel"]

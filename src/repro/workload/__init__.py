@@ -1,0 +1,20 @@
+"""Workloads: closed-loop clients, transaction generation, KV execution.
+
+§VI-A: the paper's evaluation uses closed-loop clients submitting unique
+32-byte transactions, with committed transactions written to a key-value
+store.  :class:`ClosedLoopClient` keeps a configurable number of
+transactions in flight, measures per-transaction commit latency, and
+feeds the throughput/latency statistics of every benchmark.
+"""
+
+from repro.workload.clients import ClientStats, ClosedLoopClient, OpenLoopClient
+from repro.workload.generator import TxGenerator
+from repro.workload.kvstore import KvStore
+
+__all__ = [
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "ClientStats",
+    "TxGenerator",
+    "KvStore",
+]

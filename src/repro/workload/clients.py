@@ -1,0 +1,135 @@
+"""Benchmark clients.
+
+§VI-A adopts Pompē's methodology: *closed-loop* clients, each keeping a
+fixed number of transactions outstanding against a home replica, measuring
+the latency of every committed transaction.  The consolidated latencies
+and completion counts produce the average-latency and throughput numbers
+of Figures 2 and 3.
+
+An :class:`OpenLoopClient` (fixed submission rate, no back-pressure) is
+provided for saturation experiments and attack scenarios where the
+submission *time* must be controlled precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.node import CLIENT_REPLY_KIND, CLIENT_TX_KIND
+from repro.core.types import Transaction
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.process import SimProcess
+from repro.workload.generator import TxGenerator
+
+
+@dataclass
+class ClientStats:
+    """Per-client measurements, consolidated by the harness."""
+
+    submitted: int = 0
+    completed: int = 0
+    latencies_us: List[int] = field(default_factory=list)
+    first_submit_us: Optional[int] = None
+    last_complete_us: Optional[int] = None
+
+
+class _BaseClient(SimProcess):
+    """Common submit/reply bookkeeping for both client types."""
+
+    def __init__(
+        self, pid: int, sim: Simulator, home: int, *, body: bytes = b""
+    ) -> None:
+        super().__init__(pid, sim)
+        self.home = home
+        self.body = body
+        self.gen = TxGenerator(pid)
+        self.stats = ClientStats()
+        self._inflight: Dict[tuple, int] = {}  # tx key -> submit time
+
+    def _submit_one(self) -> Transaction:
+        tx = self.gen.next(body=self.body, submitted_at=self.sim.now)
+        self._inflight[tx.key()] = self.sim.now
+        self.stats.submitted += 1
+        if self.stats.first_submit_us is None:
+            self.stats.first_submit_us = self.sim.now
+        self.send(self.home, Message(CLIENT_TX_KIND, {"tx": tx}, tx.wire_size()))
+        return tx
+
+    def on_message(self, message: Message, sender: int) -> None:
+        if message.kind != CLIENT_REPLY_KIND:
+            return
+        key = message.payload.get("key")
+        submit_time = self._inflight.pop(key, None)
+        if submit_time is None:
+            return  # duplicate reply
+        self.stats.completed += 1
+        self.stats.latencies_us.append(self.sim.now - submit_time)
+        self.stats.last_complete_us = self.sim.now
+        self._on_complete()
+
+    def _on_complete(self) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class ClosedLoopClient(_BaseClient):
+    """Keeps ``window`` transactions outstanding at all times."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        home: int,
+        *,
+        window: int = 100,
+        start_at_us: int = 0,
+        stop_at_us: Optional[int] = None,
+        body: bytes = b"",
+    ) -> None:
+        super().__init__(pid, sim, home, body=body)
+        self.window = window
+        self.stop_at_us = stop_at_us
+        sim.schedule(start_at_us, self._start)
+
+    def _start(self) -> None:
+        for _ in range(self.window):
+            self._submit_one()
+
+    def _on_complete(self) -> None:
+        if self.stop_at_us is not None and self.sim.now >= self.stop_at_us:
+            return
+        self._submit_one()
+
+
+class OpenLoopClient(_BaseClient):
+    """Submits at a fixed rate regardless of completions."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        home: int,
+        *,
+        interval_us: int,
+        start_at_us: int = 0,
+        count: Optional[int] = None,
+        body: bytes = b"",
+    ) -> None:
+        super().__init__(pid, sim, home, body=body)
+        self.interval_us = max(1, int(interval_us))
+        self.remaining = count
+        sim.schedule(start_at_us, self._tick)
+
+    def _tick(self) -> None:
+        if self.crashed:
+            return
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return
+            self.remaining -= 1
+        self._submit_one()
+        self.sim.schedule(self.interval_us, self._tick)
+
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient", "ClientStats"]

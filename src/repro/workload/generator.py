@@ -1,0 +1,53 @@
+"""Transaction generation.
+
+Every transaction is unique by construction (``client_id`` + per-client
+nonce), matching §VI-A's "each transaction consists of a unique 32-byte
+value".  Bodies can carry synthetic application data (e.g. KV writes or
+the market orders the attack scenarios use).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.core.types import Transaction
+
+#: KV-write body layout: magic ``K`` + 7-byte key + 8-byte value = 16 bytes
+#: (exactly the body budget of a 32-byte transaction payload).
+_KV = struct.Struct(">c7sQ")
+
+
+class TxGenerator:
+    """A per-client stream of unique transactions."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self._nonce = 0
+
+    def next(self, body: bytes = b"", submitted_at: int = 0) -> Transaction:
+        tx = Transaction(self.client_id, self._nonce, body[:16], submitted_at)
+        self._nonce += 1
+        return tx
+
+    def kv_write(self, key: int, value: int, submitted_at: int = 0) -> Transaction:
+        """A transaction encoding ``store[key] = value`` (key < 2^56)."""
+        if not (0 <= key < 1 << 56):
+            raise ValueError("KV keys must fit in 7 bytes")
+        body = _KV.pack(b"K", key.to_bytes(7, "big"), value)
+        return self.next(body, submitted_at)
+
+    @property
+    def issued(self) -> int:
+        return self._nonce
+
+
+def decode_kv_write(tx: Transaction) -> Optional[Tuple[int, int]]:
+    """Inverse of :meth:`TxGenerator.kv_write`; None for non-KV bodies."""
+    if len(tx.body) != 16 or not tx.body.startswith(b"K"):
+        return None
+    _, key_bytes, value = _KV.unpack(tx.body)
+    return int.from_bytes(key_bytes, "big"), value
+
+
+__all__ = ["TxGenerator", "decode_kv_write"]

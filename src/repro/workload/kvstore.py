@@ -1,0 +1,52 @@
+"""The execution layer: an in-memory key-value store.
+
+§VI-A: "during the benchmark, committed transactions are written in a
+key-value store".  The store applies committed batches in log order; its
+content is a deterministic function of the committed log, which the
+integration tests use as an end-to-end determinism check (two replicas
+with prefix-consistent logs must have consistent stores).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.types import Batch, Transaction
+from repro.workload.generator import decode_kv_write
+
+
+class KvStore:
+    """Sequentially applied KV state."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, int] = {}
+        self.applied_txs = 0
+        self.applied_batches = 0
+
+    def apply_batch(self, batch: Batch) -> None:
+        self.applied_batches += 1
+        for tx in batch.txs:
+            self.apply(tx)
+
+    def apply(self, tx: Transaction) -> None:
+        self.applied_txs += 1
+        kv = decode_kv_write(tx)
+        if kv is not None:
+            key, value = kv
+            self._data[key] = value
+        else:
+            # Opaque payloads are recorded under their identity so the
+            # store still reflects every committed transaction.
+            self._data[hash(tx.key()) & 0x7FFFFFFFFFFFFFFF] = tx.nonce
+
+    def get(self, key: int) -> Optional[int]:
+        return self._data.get(key)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+__all__ = ["KvStore"]

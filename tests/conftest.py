@@ -1,0 +1,9 @@
+"""Pytest configuration: registers the ``slow`` marker used by the heavier
+end-to-end attack/Byzantine scenarios (still run by default — deselect with
+``-m "not slow"`` for a fast loop)."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: multi-second simulated scenario (deselect with -m 'not slow')"
+    )

@@ -1,0 +1,117 @@
+"""Tests for the constant-product AMM and the MEV accounting used by the
+sandwich example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Transaction
+from repro.workload.amm import (
+    BUY,
+    SELL,
+    ConstantProductAmm,
+    decode_swap,
+    encode_swap,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        tx = Transaction(1, 0, encode_swap(BUY, 12345))
+        assert decode_swap(tx) == (BUY, 12345)
+
+    def test_non_swap_returns_none(self):
+        assert decode_swap(Transaction(1, 0, b"plain")) is None
+        assert decode_swap(Transaction(1, 0)) is None
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            encode_swap(7, 10)
+        with pytest.raises(ValueError):
+            encode_swap(BUY, 0)
+
+
+class TestPool:
+    def test_buy_moves_price_up(self):
+        pool = ConstantProductAmm()
+        before = pool.price
+        pool.swap(1, BUY, 100_000)
+        assert pool.price > before
+
+    def test_sell_moves_price_down(self):
+        pool = ConstantProductAmm()
+        before = pool.price
+        pool.swap(1, SELL, 100_000)
+        assert pool.price < before
+
+    def test_product_nondecreasing_with_fee(self):
+        pool = ConstantProductAmm(fee_bps=30)
+        k0 = pool.reserve_x * pool.reserve_y
+        pool.swap(1, BUY, 50_000)
+        pool.swap(2, SELL, 30_000)
+        assert pool.reserve_x * pool.reserve_y >= k0
+
+    def test_balances_tracked(self):
+        pool = ConstantProductAmm()
+        result = pool.swap(7, BUY, 10_000)
+        assert pool.balances[7]["x"] == -10_000
+        assert pool.balances[7]["y"] == result.amount_out
+
+    def test_order_dependence(self):
+        """The root of MEV: the same trades, different order, different
+        outcomes for the same trader."""
+        trades = [(1, BUY, 100_000), (2, BUY, 50_000)]
+        first = ConstantProductAmm()
+        for t in trades:
+            first.swap(*t)
+        second = ConstantProductAmm()
+        for t in reversed(trades):
+            second.swap(*t)
+        assert first.trades[0].amount_out != second.trades[1].amount_out
+
+    def test_sandwich_is_profitable(self):
+        """Front BUY + victim BUY + back SELL > honest participation."""
+        attacked = ConstantProductAmm()
+        front = attacked.swap(666, BUY, 50_000)
+        attacked.swap(1, BUY, 100_000)  # victim pushes the price up
+        attacked.swap(666, SELL, front.amount_out)
+        blind = ConstantProductAmm()
+        blind.swap(1, BUY, 100_000)
+        front2 = blind.swap(666, BUY, 50_000)
+        blind.swap(666, SELL, front2.amount_out)
+        assert attacked.net_value(666) > blind.net_value(666)
+        assert attacked.net_value(666) > 0
+
+    def test_apply_transaction_log(self):
+        pool = ConstantProductAmm()
+        txs = [
+            Transaction(1, 0, encode_swap(BUY, 1000)),
+            Transaction(2, 0, b"not-a-swap"),
+            Transaction(3, 0, encode_swap(SELL, 500)),
+        ]
+        results = pool.apply_log(txs)
+        assert len(results) == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ConstantProductAmm(reserve_x=0)
+        with pytest.raises(ValueError):
+            ConstantProductAmm().swap(1, BUY, -5)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 5),
+                st.sampled_from([BUY, SELL]),
+                st.integers(1, 200_000),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_reserves_stay_positive(self, trades):
+        pool = ConstantProductAmm()
+        for trader, direction, amount in trades:
+            pool.swap(trader, direction, amount)
+            assert pool.reserve_x > 0 and pool.reserve_y > 0

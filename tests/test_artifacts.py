@@ -1,0 +1,26 @@
+"""Tests for the artifact/report generator."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.artifacts import EXPERIMENTS, generate_report
+
+
+class TestReportGeneration:
+    def test_subset_report_written(self, tmp_path):
+        outdir = str(tmp_path / "results")
+        results = generate_report(outdir, only=["LAT3", "FIG3"])
+        assert set(results) == {"LAT3", "FIG3"}
+        with open(os.path.join(outdir, "results.json")) as fh:
+            on_disk = json.load(fh)
+        assert set(on_disk) == {"LAT3", "FIG3"}
+        report = open(os.path.join(outdir, "REPORT.md")).read()
+        assert "## LAT3" in report and "## FIG3" in report
+        assert "lyra_ktps" in report
+
+    def test_experiment_registry_ids_unique(self):
+        ids = [e[0] for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+        assert {"FIG1", "FIG2", "FIG3", "LAT3", "LAM", "BATCH", "BYZ"} <= set(ids)

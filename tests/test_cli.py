@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_rounds_subcommand(self, capsys):
+        assert main(["rounds"]) == 0
+        out = capsys.readouterr().out
+        assert "LAT3" in out
+        assert "lyra_decide_rounds" in out
+
+    def test_fig3_subcommand_prints_table_and_chart(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "lyra_ktps" in out
+        assert "o lyra" in out  # the ASCII chart legend
+
+    def test_batch_subcommand(self, capsys):
+        assert main(["batch"]) == 0
+        out = capsys.readouterr().out
+        assert "batch_fill_ms" in out
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-thing"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_subcommand(self, tmp_path, capsys, monkeypatch):
+        # Patch the registry down to the two cheapest experiments so the
+        # CLI path is exercised without minutes of simulation.
+        import repro.harness.artifacts as artifacts
+
+        cheap = [e for e in artifacts.EXPERIMENTS if e[0] in ("LAT3", "FIG3")]
+        monkeypatch.setattr(artifacts, "EXPERIMENTS", cheap)
+        outdir = str(tmp_path / "r")
+        assert main(["report", "--outdir", outdir]) == 0
+        assert (tmp_path / "r" / "REPORT.md").exists()
+        assert (tmp_path / "r" / "results.json").exists()

@@ -1,0 +1,180 @@
+"""Unit and property tests for Shamir sharing, Feldman VSS, and the VSS
+transaction-encryption scheme (§II-B interfaces)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feldman import FeldmanVSS, find_group
+from repro.crypto.field import DEFAULT_FIELD
+from repro.crypto.shamir import ShamirShare, reconstruct_secret, split_secret
+from repro.crypto.vss_encryption import DecryptionShare, VssError, VssScheme
+from repro.sim.rng import RngRegistry
+
+F = DEFAULT_FIELD
+RNG = RngRegistry(101)
+
+
+class TestShamir:
+    def test_roundtrip(self):
+        shares = split_secret(123, 3, 7, RNG.get("s1"))
+        assert reconstruct_secret(shares[:3], 3) == 123
+
+    def test_any_subset_reconstructs(self):
+        shares = split_secret(99999, 3, 7, RNG.get("s2"))
+        import itertools
+
+        for combo in itertools.combinations(shares, 3):
+            assert reconstruct_secret(list(combo), 3) == 99999
+
+    def test_extra_shares_ignored(self):
+        shares = split_secret(5, 2, 5, RNG.get("s3"))
+        assert reconstruct_secret(shares, 2) == 5
+
+    def test_insufficient_shares_rejected(self):
+        shares = split_secret(5, 3, 5, RNG.get("s4"))
+        with pytest.raises(ValueError):
+            reconstruct_secret(shares[:2], 3)
+
+    def test_duplicate_indices_counted_once(self):
+        shares = split_secret(5, 3, 5, RNG.get("s5"))
+        with pytest.raises(ValueError):
+            reconstruct_secret([shares[0], shares[0], shares[1]], 3)
+
+    def test_wrong_quorum_reconstructs_garbage(self):
+        # 2 shares of a threshold-3 sharing interpolate a line — almost
+        # surely not the secret (information-theoretic hiding).
+        shares = split_secret(42, 3, 5, RNG.get("s6"))
+        from repro.crypto.polynomial import lagrange_interpolate_at
+
+        wrong = lagrange_interpolate_at(
+            [(shares[0].index, shares[0].value), (shares[1].index, shares[1].value)],
+            0,
+        )
+        assert wrong != 42
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            split_secret(1, 0, 5, RNG.get("s7"))
+        with pytest.raises(ValueError):
+            split_secret(1, 6, 5, RNG.get("s8"))
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=0, max_value=F.p - 1),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_property_roundtrip(self, secret, k, extra):
+        n = k + extra
+        rng = RngRegistry(k * 31 + extra).get("prop")
+        shares = split_secret(secret, k, n, rng)
+        assert reconstruct_secret(shares[-k:], k) == secret
+
+
+class TestFeldman:
+    def setup_method(self):
+        self.vss = FeldmanVSS()
+
+    def test_group_parameters(self):
+        q, g = self.vss.q, self.vss.g
+        assert (q - 1) % F.p == 0
+        assert pow(g, F.p, q) == 1  # g has order p
+        assert g != 1
+
+    def test_valid_shares_verify(self):
+        shares, com = self.vss.deal(31337, 3, 6, RNG.get("f1"))
+        assert all(self.vss.verify_share(s, com) for s in shares)
+
+    def test_tampered_value_rejected(self):
+        shares, com = self.vss.deal(31337, 3, 6, RNG.get("f2"))
+        bad = ShamirShare(shares[0].index, F.add(shares[0].value, 1))
+        assert not self.vss.verify_share(bad, com)
+
+    def test_wrong_index_rejected(self):
+        shares, com = self.vss.deal(31337, 3, 6, RNG.get("f3"))
+        swapped = ShamirShare(shares[1].index, shares[0].value)
+        assert not self.vss.verify_share(swapped, com)
+
+    def test_commitment_binds_secret(self):
+        shares, com = self.vss.deal(777, 2, 4, RNG.get("f4"))
+        assert self.vss.commitment_to_secret(com) == pow(
+            self.vss.g, 777, self.vss.q
+        )
+
+    def test_shares_reconstruct_committed_secret(self):
+        shares, com = self.vss.deal(777, 2, 4, RNG.get("f5"))
+        assert reconstruct_secret(shares[:2], 2) == 777
+
+    def test_find_group_small_prime(self):
+        q, g = find_group(11)
+        assert (q - 1) % 11 == 0
+        assert pow(g, 11, q) == 1 and g != 1
+
+
+class TestVssEncryption:
+    def setup_method(self):
+        self.scheme = VssScheme(3, 4, seed=55)
+
+    def test_roundtrip(self):
+        c = self.scheme.encrypt(b"secret payload bytes", RNG.get("v1"))
+        shares = [self.scheme.partial_decrypt(c, i) for i in range(3)]
+        assert self.scheme.decrypt(c, shares) == b"secret payload bytes"
+
+    def test_any_quorum_decrypts(self):
+        c = self.scheme.encrypt(b"q", RNG.get("v2"))
+        shares = [self.scheme.partial_decrypt(c, i) for i in (0, 2, 3)]
+        assert self.scheme.decrypt(c, shares) == b"q"
+
+    def test_below_threshold_fails(self):
+        c = self.scheme.encrypt(b"x", RNG.get("v3"))
+        shares = [self.scheme.partial_decrypt(c, i) for i in range(2)]
+        with pytest.raises(VssError):
+            self.scheme.decrypt(c, shares)
+
+    def test_dealing_checks_pass_for_honest_dealer(self):
+        c = self.scheme.encrypt(b"ok", RNG.get("v4"))
+        assert all(self.scheme.check_dealing(c, pid) for pid in range(4))
+
+    def test_forged_share_detected(self):
+        c = self.scheme.encrypt(b"z", RNG.get("v5"))
+        good = self.scheme.partial_decrypt(c, 0)
+        forged = DecryptionShare(
+            c.cipher_id, ShamirShare(good.share.index, good.share.value ^ 1)
+        )
+        assert not self.scheme.verify_decryption_share(c, forged)
+
+    def test_forged_shares_do_not_break_decryption(self):
+        c = self.scheme.encrypt(b"resilient", RNG.get("v6"))
+        good = [self.scheme.partial_decrypt(c, i) for i in range(3)]
+        forged = DecryptionShare(c.cipher_id, ShamirShare(4, 12345))
+        assert self.scheme.decrypt(c, [forged] + good) == b"resilient"
+
+    def test_share_for_wrong_cipher_rejected(self):
+        c1 = self.scheme.encrypt(b"one", RNG.get("v7"))
+        c2 = self.scheme.encrypt(b"two", RNG.get("v8"))
+        share = self.scheme.partial_decrypt(c1, 0)
+        assert not self.scheme.verify_decryption_share(c2, share)
+
+    def test_invalid_pid(self):
+        c = self.scheme.encrypt(b"p", RNG.get("v9"))
+        with pytest.raises(VssError):
+            self.scheme.partial_decrypt(c, 9)
+
+    def test_ciphertext_differs_from_plaintext(self):
+        msg = b"plaintext-visible?"
+        c = self.scheme.encrypt(msg, RNG.get("v10"))
+        assert msg not in c.body
+
+    def test_cipher_wire_size_scales_with_n(self):
+        small = VssScheme(3, 4, seed=1).encrypt(b"a" * 64, RNG.get("v11"))
+        large = VssScheme(35, 52, seed=1).encrypt(b"a" * 64, RNG.get("v12"))
+        assert large.wire_size() > small.wire_size()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_property_roundtrip(self, payload):
+        rng = RngRegistry(len(payload)).get("vp")
+        c = self.scheme.encrypt(payload, rng)
+        shares = [self.scheme.partial_decrypt(c, i) for i in (1, 2, 3)]
+        assert self.scheme.decrypt(c, shares) == payload

@@ -1,0 +1,146 @@
+"""Tests for vanilla DBFT binary agreement (baseline [8]): validity,
+agreement, termination under unanimous, split, and randomized inputs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dbft_binary import (
+    BA_AUX_KIND,
+    BA_BV_KIND,
+    BA_COORD_KIND,
+    BinaryAgreement,
+)
+from repro.core.services import ProtocolServices
+from repro.crypto.cost import FREE_COSTS
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.process import SimProcess
+
+DELAY = 5 * MILLISECONDS
+
+
+class BaNode(SimProcess):
+    def __init__(self, pid, sim, *, n, f, registry, threshold):
+        super().__init__(pid, sim)
+        self.n, self.f = n, f
+        self.registry, self.threshold_scheme = registry, threshold
+        self.decisions = []
+
+    def attach(self, network):
+        super().attach(network)
+        services = ProtocolServices(
+            pid=self.pid,
+            n=self.n,
+            f=self.f,
+            sim=self.sim,
+            delta_us=network.delta_us,
+            signer=self.registry.signer(self.pid),
+            registry=self.registry,
+            threshold=self.threshold_scheme,
+            costs=FREE_COSTS,
+            send_fn=lambda dst, msg: self.send(dst, msg),
+            broadcast_fn=lambda msg: self.broadcast(msg),
+            timers=self.timers,
+        )
+        self.ba = BinaryAgreement(
+            services, "ba", on_decide=self.decisions.append
+        )
+
+    def on_message(self, message, sender):
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        if payload.get("iid") != "ba":
+            return
+        self.ba.handle(message.kind, payload, sender)
+
+
+def build(n=4):
+    f = (n - 1) // 3
+    sim = Simulator()
+    registry = KeyRegistry(41)
+    threshold = ThresholdScheme(2 * f + 1, n, seed=41)
+    net = Network(
+        sim,
+        UniformLatencyModel(DELAY),
+        config=NetworkConfig(delta_us=DELAY, bandwidth_enabled=False),
+    )
+    nodes = []
+    for pid in range(n):
+        node = BaNode(pid, sim, n=n, f=f, registry=registry, threshold=threshold)
+        nodes.append(node)
+        net.register(node)
+    return sim, nodes
+
+
+def run(inputs, n=4, horizon_us=5_000_000):
+    sim, nodes = build(n)
+    for node, b in zip(nodes, inputs):
+        if b is not None:
+            node.ba.propose(b)
+    sim.run(until=horizon_us)
+    return nodes
+
+
+class TestUnanimous:
+    def test_all_one_decides_one(self):
+        nodes = run([1, 1, 1, 1])
+        assert all(node.decisions == [1] for node in nodes)
+
+    def test_all_zero_decides_zero(self):
+        nodes = run([0, 0, 0, 0])
+        assert all(node.decisions == [0] for node in nodes)
+
+
+class TestSplit:
+    @pytest.mark.parametrize("inputs", [[1, 1, 1, 0], [0, 0, 0, 1], [1, 0, 1, 0]])
+    def test_agreement_and_termination(self, inputs):
+        nodes = run(inputs)
+        values = {node.decisions[0] for node in nodes if node.decisions}
+        assert len(values) == 1
+        assert all(node.decisions for node in nodes)
+
+    def test_validity_decided_value_was_some_input(self):
+        inputs = [1, 0, 0, 0]
+        nodes = run(inputs)
+        decided = nodes[0].decisions[0]
+        assert decided in inputs
+
+
+class TestFaults:
+    def test_silent_node_does_not_block(self):
+        # f = 1: one process never proposes nor participates.
+        sim, nodes = build(4)
+        nodes[3].crash()
+        for node in nodes[:3]:
+            node.ba.propose(1)
+        sim.run(until=8_000_000)
+        assert all(node.decisions == [1] for node in nodes[:3])
+
+    def test_invalid_input_rejected(self):
+        sim, nodes = build(4)
+        with pytest.raises(ValueError):
+            nodes[0].ba.propose(2)
+
+    def test_decides_once(self):
+        nodes = run([1, 1, 1, 1], horizon_us=8_000_000)
+        assert all(len(node.decisions) == 1 for node in nodes)
+
+
+class TestRandomInputs:
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=4))
+    def test_property_agreement(self, inputs):
+        nodes = run(inputs)
+        values = {node.decisions[0] for node in nodes if node.decisions}
+        assert len(values) == 1
+        assert next(iter(values)) in inputs
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=7, max_size=7))
+    def test_property_agreement_seven_nodes(self, inputs):
+        nodes = run(inputs, n=7)
+        values = {node.decisions[0] for node in nodes if node.decisions}
+        assert len(values) == 1

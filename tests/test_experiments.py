@@ -1,0 +1,95 @@
+"""Tests for the experiment drivers (one per paper artefact) and the
+good-case round measurements."""
+
+import pytest
+
+from repro.harness.experiments import (
+    batch_ablation,
+    fig2_commit_latency,
+    fig3_throughput,
+    format_rows,
+    goodcase_latency_rounds,
+    lambda_ablation,
+)
+from repro.harness.rounds import measure_lyra_rounds, measure_pompe_rounds
+
+
+class TestGoodCaseRounds:
+    """§III-§IV: Lyra's BOC decides in 3 message delays — the paper's
+    optimality claim (Theorem 3) versus Pompē's ~11 rounds."""
+
+    def test_lyra_three_rounds(self):
+        rounds = measure_lyra_rounds(n=4, delay_ms=40)
+        assert 2.9 <= rounds <= 3.2, rounds
+
+    def test_lyra_three_rounds_larger_cluster(self):
+        rounds = measure_lyra_rounds(n=7, delay_ms=40)
+        assert 2.9 <= rounds <= 3.2, rounds
+
+    def test_pompe_about_eleven_rounds(self):
+        rounds = measure_pompe_rounds(n=4, delay_ms=40)
+        assert 9.0 <= rounds <= 13.0, rounds
+
+    def test_summary_row(self):
+        row = goodcase_latency_rounds(n=4, delay_ms=40)
+        assert row["lyra_decide_rounds"] < row["pompe_commit_rounds"]
+        assert row["paper_lyra"] == 3 and row["paper_pompe"] == 11
+
+
+@pytest.mark.slow
+class TestFig2:
+    def test_quick_sweep_sane(self):
+        rows = fig2_commit_latency([4, 7])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["lyra_safety"] is None
+            assert row["pompe_safety"] is None
+            assert 0 < row["lyra_latency_ms"] < 2000
+            assert 0 < row["pompe_latency_ms"] < 4000
+
+    def test_lyra_latency_stable_across_n(self):
+        rows = fig2_commit_latency([4, 10])
+        lats = [r["lyra_latency_ms"] for r in rows]
+        assert max(lats) < 1.5 * min(lats)  # "relatively stable" (§VI-C)
+
+
+class TestFig3:
+    def test_paper_rows_shape(self):
+        rows = fig3_throughput()
+        by_n = {r["n"]: r for r in rows}
+        assert by_n[100]["ratio"] >= 5.0
+        assert by_n[5]["ratio"] < 1.0
+        lyra = [r["lyra_ktps"] for r in rows]
+        assert lyra == sorted(lyra)
+
+    def test_custom_ns(self):
+        rows = fig3_throughput([10, 20])
+        assert [r["n"] for r in rows] == [10, 20]
+
+
+class TestAblations:
+    @pytest.mark.slow
+    def test_lambda_five_ms_suffices(self):
+        rows = lambda_ablation((2, 5, 50), n=4)
+        by_lambda = {r["lambda_ms"]: r for r in rows}
+        # §VI-B: λ = 5 ms does not hurt performance: acceptance at 5 ms is
+        # as good as with a very loose λ.
+        assert by_lambda[5]["acceptance_rate"] == by_lambda[50]["acceptance_rate"]
+        assert by_lambda[5]["committed"] > 0
+
+    def test_batch_ablation_shape(self):
+        rows = batch_ablation((1, 100, 800, 3200), n=100)
+        by_batch = {r["batch"]: r for r in rows}
+        # Tiny batches cannot amortise per-instance costs.
+        assert by_batch[1]["lyra_ktps"] < by_batch[800]["lyra_ktps"]
+        # Past the knee, throughput gains flatten while fill time grows.
+        gain = by_batch[3200]["lyra_ktps"] / by_batch[800]["lyra_ktps"]
+        assert gain < 1.5
+        assert by_batch[3200]["batch_fill_ms"] == 4 * by_batch[800]["batch_fill_ms"]
+
+
+class TestFormatting:
+    def test_format_rows(self):
+        text = format_rows([{"a": 1, "b": "x"}, {"a": 22, "c": None}])
+        assert "a" in text and "22" in text
+        assert format_rows([]) == "(no rows)"

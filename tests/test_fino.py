@@ -1,0 +1,140 @@
+"""Tests for the Fino-style baseline: blind order-fairness works for
+content (no pre-commit plaintext), but a blind Byzantine leader can still
+censor by proposer — the paper's §I critique."""
+
+import pytest
+
+from repro.baselines.fino import (
+    BlindCensoringLeaderFino,
+    FinoConfig,
+    FinoNode,
+    REVEAL_KIND,
+)
+from repro.core.node import CLIENT_TX_KIND
+from repro.core.obfuscation import HashCommitObfuscation
+from repro.core.smr import check_prefix_consistency
+from repro.core.types import Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import MILLISECONDS, SECONDS, Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.clients import ClosedLoopClient
+
+DELAY = 10 * MILLISECONDS
+
+
+def build_fino(n=4, leader_cls=FinoNode, leader_kwargs=None, seed=61):
+    f = (n - 1) // 3
+    sim = Simulator()
+    registry = KeyRegistry(seed)
+    threshold = ThresholdScheme(2 * f + 1, n, seed=seed)
+    obf = HashCommitObfuscation(2 * f + 1, n, seed=seed)
+    net = Network(
+        sim,
+        UniformLatencyModel(DELAY),
+        config=NetworkConfig(delta_us=5 * DELAY, bandwidth_enabled=False),
+    )
+    nodes = []
+    for pid in range(n):
+        cls = leader_cls if pid == 0 else FinoNode
+        kwargs = (leader_kwargs or {}) if pid == 0 else {}
+        node = cls(
+            pid,
+            sim,
+            n=n,
+            f=f,
+            registry=registry,
+            threshold=threshold,
+            obfuscation=obf,
+            config=FinoConfig(batch_size=3, batch_timeout_us=20 * MILLISECONDS),
+            rng=RngRegistry(seed),
+            **kwargs,
+        )
+        nodes.append(node)
+        net.register(node)
+    return sim, nodes, net
+
+
+def attach_clients(sim, nodes, net, homes, window=3, start=200_000):
+    clients = []
+    base_pid = 100
+    for i, home in enumerate(homes):
+        client = ClosedLoopClient(
+            base_pid + i, sim, home, window=window, start_at_us=start
+        )
+        clients.append(client)
+        net.register(client, replica=False)
+    return clients
+
+
+class TestHappyPath:
+    def test_commits_and_replies(self):
+        sim, nodes, net = build_fino()
+        clients = attach_clients(sim, nodes, net, homes=[0, 1, 2, 3])
+        for node in nodes:
+            node.start()
+        sim.run(until=6 * SECONDS)
+        assert all(c.stats.completed > 0 for c in clients)
+        assert all(node.stats.txs_executed > 0 for node in nodes)
+
+    def test_execution_order_agrees(self):
+        sim, nodes, net = build_fino()
+        attach_clients(sim, nodes, net, homes=[1, 2])
+        for node in nodes:
+            node.start()
+        sim.run(until=6 * SECONDS)
+        logs = [
+            [cid for _, cid in node.output_sequence()] for node in nodes
+        ]
+        shortest = min(logs, key=len)
+        for log in logs:
+            assert log[: len(shortest)] == shortest
+
+    def test_payload_hidden_until_commit(self):
+        """Blind order-fairness: what the leader sequences is ciphertext."""
+        sim, nodes, net = build_fino()
+        observed_bodies = []
+        secret = b"SECRET-ORDER"
+
+        def spy(t, src, dst, message):
+            if message.kind == "hs.request" or message.kind == "hs.propose":
+                payload = message.payload or {}
+                ref = payload.get("payload")
+                refs = [ref] if ref is not None else []
+                block = payload.get("block")
+                if block is not None:
+                    refs = list(block.payloads)
+                for r in refs:
+                    if r is not None and hasattr(r, "cipher"):
+                        observed_bodies.append(bytes(r.cipher.body))
+
+        net.add_trace_hook(spy)
+        attach_clients(sim, nodes, net, homes=[1])
+        nodes[1].submit(Transaction(42, 0, secret))
+        for node in nodes:
+            node.start()
+        sim.run(until=4 * SECONDS)
+        assert observed_bodies
+        assert all(secret not in body for body in observed_bodies)
+
+
+class TestBlindCensorship:
+    def test_blind_leader_still_censors_by_proposer(self):
+        """The §I critique in one test: commit-reveal hides content, yet
+        the leader starves pid 2's ciphers — obfuscation alone is not
+        order fairness."""
+        sim, nodes, net = build_fino(
+            leader_cls=BlindCensoringLeaderFino, leader_kwargs={"censored": {2}}
+        )
+        clients = attach_clients(sim, nodes, net, homes=[1, 2, 3])
+        for node in nodes:
+            node.start()
+        sim.run(until=8 * SECONDS)
+        victim = clients[1]  # homed at pid 2
+        others = [clients[0], clients[2]]
+        leader = nodes[0]
+        assert leader.censored_count > 0
+        assert victim.stats.completed == 0
+        assert all(c.stats.completed > 0 for c in others)

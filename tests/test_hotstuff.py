@@ -1,0 +1,210 @@
+"""Tests for the HotStuff substrate: 3-phase commit, pipelining, QCs,
+view changes, and payload dedup."""
+
+import pytest
+
+from repro.baselines.hotstuff import Block, HotStuffParticipant
+from repro.core.services import ProtocolServices
+from repro.crypto.cost import FREE_COSTS
+from repro.crypto.hashing import digest_of
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.process import SimProcess
+
+DELAY = 5 * MILLISECONDS
+
+
+class Payload:
+    """A HotStuff payload with identity and size."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.payload_id = digest_of(tag)
+
+    def wire_size(self) -> int:
+        return 64
+
+    def __repr__(self) -> str:
+        return f"Payload({self.tag})"
+
+
+class HsNode(SimProcess):
+    def __init__(self, pid, sim, *, n, f, registry, threshold, **hs_kwargs):
+        super().__init__(pid, sim)
+        self.n, self.f = n, f
+        self.registry, self.threshold_scheme = registry, threshold
+        self.decided = []
+        self._hs_kwargs = hs_kwargs
+
+    def attach(self, network):
+        super().attach(network)
+        services = ProtocolServices(
+            pid=self.pid,
+            n=self.n,
+            f=self.f,
+            sim=self.sim,
+            delta_us=network.delta_us,
+            signer=self.registry.signer(self.pid),
+            registry=self.registry,
+            threshold=self.threshold_scheme,
+            costs=FREE_COSTS,
+            send_fn=lambda dst, msg: self.send(dst, msg),
+            broadcast_fn=lambda msg: self.broadcast(msg),
+            timers=self.timers,
+        )
+        self.hs = HotStuffParticipant(
+            services, on_decide=self.decided.append, **self._hs_kwargs
+        )
+
+    def on_message(self, message, sender):
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        self.hs.handle(message.kind, payload, sender)
+
+
+def build_hs_cluster(n=4, **hs_kwargs):
+    f = (n - 1) // 3
+    sim = Simulator()
+    registry = KeyRegistry(21)
+    threshold = ThresholdScheme(2 * f + 1, n, seed=21)
+    net = Network(
+        sim,
+        UniformLatencyModel(DELAY),
+        config=NetworkConfig(delta_us=DELAY, bandwidth_enabled=False),
+    )
+    nodes = []
+    for pid in range(n):
+        node = HsNode(
+            pid, sim, n=n, f=f, registry=registry,
+            threshold=threshold, **hs_kwargs,
+        )
+        nodes.append(node)
+        net.register(node)
+    for node in nodes:
+        node.hs.start()
+    return sim, nodes, net
+
+
+class TestGoodCase:
+    def test_single_payload_decides_everywhere(self):
+        sim, nodes, net = build_hs_cluster()
+        nodes[0].hs.submit(Payload("a"))
+        sim.run(until=1_000_000)
+        for node in nodes:
+            assert node.decided, f"pid {node.pid} never decided"
+            assert node.decided[0].payloads[0].tag == "a"
+
+    def test_submit_from_non_leader_relays(self):
+        sim, nodes, net = build_hs_cluster()
+        nodes[2].hs.submit(Payload("relayed"))
+        sim.run(until=1_000_000)
+        assert all(node.decided for node in nodes)
+
+    def test_blocks_decide_in_height_order_per_node(self):
+        sim, nodes, net = build_hs_cluster(batch_certs=1)
+        for i in range(6):
+            nodes[0].hs.submit(Payload(f"p{i}"))
+        sim.run(until=2_000_000)
+        for node in nodes:
+            heights = [b.height for b in node.decided if b.payloads]
+            assert len(heights) == 6
+
+    def test_batching_packs_queued_payloads(self):
+        # With the pipeline full (max_inflight=1), later submissions queue
+        # and get packed into one block of up to batch_certs payloads.
+        sim, nodes, net = build_hs_cluster(batch_certs=4, max_inflight=1)
+        for i in range(5):
+            nodes[0].hs.submit(Payload(f"p{i}"))
+        sim.run(until=2_000_000)
+        non_empty = [b for b in nodes[1].decided if b.payloads]
+        assert [len(b.payloads) for b in non_empty] == [1, 4]
+
+    def test_pipelining_bounded_by_max_inflight(self):
+        sim, nodes, net = build_hs_cluster(batch_certs=1, max_inflight=2)
+        for i in range(8):
+            nodes[0].hs.submit(Payload(f"p{i}"))
+        assert len(nodes[0].hs._inflight) <= 2
+        sim.run(until=3_000_000)
+        decided_payloads = [
+            b.payloads[0].tag for b in nodes[0].decided if b.payloads
+        ]
+        assert len(decided_payloads) == 8
+
+    def test_duplicate_payload_decided_once(self):
+        sim, nodes, net = build_hs_cluster(batch_certs=1)
+        p = Payload("dup")
+        nodes[0].hs.submit(p)
+        nodes[0].hs.submit(Payload("dup"))  # same payload_id
+        sim.run(until=2_000_000)
+        tags = [
+            b.payloads[0].tag for b in nodes[1].decided if b.payloads
+        ]
+        assert tags.count("dup") == 1
+
+    def test_agreement_on_block_contents(self):
+        sim, nodes, net = build_hs_cluster()
+        for i in range(5):
+            nodes[i % 4].hs.submit(Payload(f"x{i}"))
+        sim.run(until=3_000_000)
+        logs = [
+            [(b.height, tuple(p.tag for p in b.payloads)) for b in node.decided]
+            for node in nodes
+        ]
+        shortest = min(logs, key=len)
+        for log in logs:
+            assert log[: len(shortest)] == shortest
+
+
+class TestViewChange:
+    def test_leader_crash_triggers_view_change(self):
+        sim, nodes, net = build_hs_cluster(view_timeout_us=20 * DELAY)
+        nodes[0].crash()  # the view-0 leader
+        nodes[1].hs.submit(Payload("after-crash"))
+        sim.run(until=10_000_000)
+        live = [node for node in nodes if not node.crashed]
+        assert all(node.hs.view >= 1 for node in live)
+
+    def test_payload_recovers_after_view_change_with_resubmission(self):
+        sim, nodes, net = build_hs_cluster(view_timeout_us=20 * DELAY)
+        nodes[0].crash()
+        payload = Payload("persistent")
+        # Originator re-submits periodically (Pompē does this via its
+        # resubmit timer; emulate here).
+        def resubmit():
+            if not any(
+                b.payloads and b.payloads[0].tag == "persistent"
+                for b in nodes[1].decided
+            ):
+                nodes[1].hs.submit(Payload("persistent"))
+                sim.schedule(30 * DELAY, resubmit)
+
+        resubmit()
+        sim.run(until=20_000_000)
+        live = [node for node in nodes if not node.crashed]
+        for node in live:
+            tags = [p.tag for b in node.decided for p in b.payloads]
+            assert "persistent" in tags
+
+    def test_viewchange_requires_quorum(self):
+        sim, nodes, net = build_hs_cluster()
+        # A single Byzantine VIEWCHANGE vote must not move the view.
+        nodes[1].hs.on_viewchange({"new_view": 5}, sender=3)
+        sim.run(until=200_000)
+        assert nodes[1].hs.view == 0
+
+
+class TestWatermark:
+    def test_watermark_needs_quorum_of_reports(self):
+        sim, nodes, net = build_hs_cluster()
+        hs = nodes[0].hs
+        hs._clock_reports = {0: 100}
+        assert hs._watermark() == 0
+        hs._clock_reports = {0: 1_000_000, 1: 2_000_000, 2: 3_000_000}
+        assert hs._watermark() == 1_000_000 - DELAY
+
+    def test_block_digest_binds_content(self):
+        b1 = Block.build(0, 1, (Payload("a"),), 0)
+        b2 = Block.build(0, 1, (Payload("b"),), 0)
+        assert b1.digest != b2.digest

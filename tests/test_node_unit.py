@@ -1,0 +1,234 @@
+"""Focused unit tests for LyraNode internals: CPU cost accounting, message
+dispatch, batching triggers, piggyback attachment, probe flow, and the
+services wiring."""
+
+import pytest
+
+from repro.core.node import (
+    CLIENT_TX_KIND,
+    LyraConfig,
+    LyraNode,
+    PROBE_ACK_KIND,
+    PROBE_KIND,
+)
+from repro.core.commit import DSHARE_KIND, STATUS_KIND
+from repro.core.services import ProtocolServices
+from repro.core.types import Transaction
+from repro.core.vvb import DELIVER_KIND, INIT_KIND, VOTE1_KIND
+from repro.core.obfuscation import make_obfuscation
+from repro.crypto.cost import DEFAULT_COSTS, FREE_COSTS
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.net.latency import UniformLatencyModel
+from repro.net.message import Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.rng import RngRegistry
+
+
+def build_pair(costs=DEFAULT_COSTS, **cfg_kwargs):
+    """Two wired LyraNodes on a fast uniform network."""
+    sim = Simulator()
+    n, f = 4, 1
+    registry = KeyRegistry(3)
+    threshold = ThresholdScheme(3, n, seed=3)
+    obf = make_obfuscation("vss", 3, n, seed=3)
+    net = Network(
+        sim,
+        UniformLatencyModel(1 * MILLISECONDS),
+        config=NetworkConfig(
+            delta_us=5 * MILLISECONDS, bandwidth_enabled=False
+        ),
+    )
+    nodes = []
+    for pid in range(n):
+        cfg = LyraConfig(batch_size=2, costs=costs, **cfg_kwargs)
+        node = LyraNode(
+            pid,
+            sim,
+            n=n,
+            f=f,
+            registry=registry,
+            threshold=threshold,
+            obfuscation=obf,
+            config=cfg,
+            rng=RngRegistry(3),
+        )
+        nodes.append(node)
+        net.register(node)
+    return sim, nodes, net
+
+
+class TestReceiveCosts:
+    def test_init_costs_verification_and_dealing_check(self):
+        sim, nodes, net = build_pair()
+        node = nodes[0]
+        msg = Message(INIT_KIND, {}, 1000)
+        cost = node._receive_cost(msg)
+        assert cost >= DEFAULT_COSTS.verify_us + DEFAULT_COSTS.vss_check_dealing_us
+
+    def test_vote1_costs_share_verification(self):
+        sim, nodes, net = build_pair()
+        assert (
+            nodes[0]._receive_cost(Message(VOTE1_KIND, {}))
+            == DEFAULT_COSTS.share_verify_us
+        )
+
+    def test_deliver_costs_threshold_verification(self):
+        sim, nodes, net = build_pair()
+        assert (
+            nodes[0]._receive_cost(Message(DELIVER_KIND, {}))
+            == DEFAULT_COSTS.threshold_verify_us
+        )
+
+    def test_cheap_kinds(self):
+        sim, nodes, net = build_pair()
+        for kind in (STATUS_KIND, PROBE_KIND, PROBE_ACK_KIND, CLIENT_TX_KIND):
+            assert nodes[0]._receive_cost(Message(kind, {})) <= 3
+
+    def test_cpu_queue_defers_processing(self):
+        sim, nodes, net = build_pair()
+        node = nodes[0]
+        # Saturate the CPU, then deliver: processing must happen at the
+        # CPU-free time, not at network-arrival time.
+        node.cpu.acquire(50_000)
+        nodes[1].send(0, Message(STATUS_KIND, {"pb": None}))
+        sim.run()
+        # Delivery event at 1ms; processing deferred past 50ms.
+        assert node.messages_received == 1
+        assert sim.now >= 50_000
+
+
+class TestBatching:
+    def test_full_batch_triggers_proposal(self):
+        sim, nodes, net = build_pair(costs=FREE_COSTS)
+        node = nodes[0]
+        node.start()
+        sim.run(until=1_000_000)  # warm up distances
+        node.submit(Transaction(9, 0))
+        assert node.stats.batches_proposed == 0  # 1 < batch_size=2
+        node.submit(Transaction(9, 1))
+        assert node.stats.batches_proposed == 1
+
+    def test_timeout_flushes_partial_batch(self):
+        sim, nodes, net = build_pair(costs=FREE_COSTS)
+        node = nodes[0]
+        node.start()
+        sim.run(until=1_000_000)
+        node.submit(Transaction(9, 0))
+        sim.run(until=sim.now + node.config.batch_timeout_us + 1000)
+        assert node.stats.batches_proposed == 1
+
+    def test_empty_flush_is_noop(self):
+        sim, nodes, net = build_pair(costs=FREE_COSTS)
+        node = nodes[0]
+        node.start()
+        sim.run(until=500_000)
+        assert node.stats.batches_proposed == 0
+
+
+class TestPiggyback:
+    def test_broadcasts_carry_commit_state(self):
+        sim, nodes, net = build_pair()
+        seen = []
+        net.add_trace_hook(
+            lambda t, s, d, m: seen.append(m)
+            if m.kind == STATUS_KIND
+            else None
+        )
+        for node in nodes:
+            node.start()
+        sim.run(until=100_000)
+        assert seen
+        pb = seen[0].payload.get("pb")
+        assert pb is not None and "locked" in pb and "minp" in pb
+
+    def test_point_to_point_not_piggybacked(self):
+        sim, nodes, net = build_pair()
+        seen = []
+        net.add_trace_hook(
+            lambda t, s, d, m: seen.append(m)
+            if m.kind == PROBE_ACK_KIND
+            else None
+        )
+        for node in nodes:
+            node.start()
+        sim.run(until=500_000)
+        assert seen
+        assert "pb" not in seen[0].payload
+
+
+class TestProbing:
+    def test_warmup_measures_all_peers(self):
+        sim, nodes, net = build_pair()
+        for node in nodes:
+            node.start()
+        sim.run(until=2_000_000)
+        for node in nodes:
+            assert node.estimator.coverage() == 1.0
+
+    def test_distances_close_to_network_latency(self):
+        sim, nodes, net = build_pair()
+        for node in nodes:
+            node.start()
+        sim.run(until=2_000_000)
+        # Uniform 1 ms latency, zero skew: every distance ≈ 1000 µs.
+        d = nodes[0].estimator.distance(2)
+        assert d is not None and 500 <= d <= 2000
+
+
+class TestServices:
+    def test_quorum_arithmetic(self):
+        sim, nodes, net = build_pair()
+        services = nodes[0].services
+        assert services.quorum == 3  # n - f
+        assert services.small_quorum == 2  # f + 1
+
+    def test_invalid_resilience_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolServices(
+                pid=0,
+                n=3,
+                f=1,  # 3 <= 3f: invalid
+                sim=Simulator(),
+                delta_us=1000,
+                signer=KeyRegistry(1).signer(0),
+                registry=KeyRegistry(1),
+                threshold=ThresholdScheme(3, 4, seed=1),
+            )
+
+    def test_threshold_signer_autoconstructed(self):
+        sim, nodes, net = build_pair()
+        services = nodes[0].services
+        share = services.threshold_signer.share_sign("m")
+        assert services.threshold.share_verify("m", share, 0)
+
+
+class TestInstanceGc:
+    def test_finished_instances_reclaimed(self):
+        from tests.helpers import quick_lyra_config
+        from repro.harness import build_lyra_cluster
+
+        cfg = quick_lyra_config(duration_us=6_000_000)
+        cluster = build_lyra_cluster(cfg)
+        result = cluster.run()
+        assert result.committed_count > 0
+        for node in cluster.nodes:
+            # Most instances resolved long before the horizon: their
+            # state is gone, only the finished-marker set remembers them.
+            assert len(node._instances) < node.stats.instances_joined
+            assert len(node._finished) > 0
+
+    def test_late_traffic_for_finished_instance_ignored(self):
+        from tests.helpers import quick_lyra_config
+        from repro.harness import build_lyra_cluster
+        from repro.core.vvb import VOTE0_KIND
+
+        cfg = quick_lyra_config(duration_us=6_000_000)
+        cluster = build_lyra_cluster(cfg)
+        cluster.run()
+        node = cluster.nodes[0]
+        iid = next(iter(node._finished))
+        before = len(node._instances)
+        node._dispatch_instance(VOTE0_KIND, {"iid": iid, "seq": 1}, sender=1)
+        assert len(node._instances) == before  # not resurrected

@@ -1,0 +1,65 @@
+"""Network-partition scenarios: safety during the split, liveness after
+healing (the classic partial-synchrony stress test)."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, build_lyra_cluster
+from repro.net.adversary import PartitionAdversary
+from repro.sim.engine import MILLISECONDS, SECONDS
+from repro.workload.clients import ClosedLoopClient
+
+
+def build_partitioned(heal_at_us, seed=53, n=4):
+    cfg = ExperimentConfig(
+        n_nodes=n,
+        seed=seed,
+        batch_size=5,
+        clients_per_node=1,
+        client_window=3,
+        duration_us=10 * SECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+    cluster = build_lyra_cluster(cfg)
+    # 2-2 split: neither side holds a 2f+1 = 3 quorum.
+    cluster.network.adversary = PartitionAdversary({0, 1}, heal_at_us)
+    return cluster
+
+
+class TestAdversaryUnit:
+    def test_same_side_unaffected(self):
+        adv = PartitionAdversary({0, 1}, heal_at_us=1000)
+        assert adv.extra_delay_us(0, 1, 10, now=0) == 0
+        assert adv.extra_delay_us(2, 3, 10, now=0) == 0
+
+    def test_cross_partition_held_until_heal(self):
+        adv = PartitionAdversary({0, 1}, heal_at_us=1000)
+        assert adv.extra_delay_us(0, 2, 10, now=400) == 600
+        assert adv.extra_delay_us(2, 0, 10, now=999) == 1
+        assert adv.extra_delay_us(0, 2, 10, now=1000) == 0
+
+    def test_gst_is_heal_time(self):
+        assert PartitionAdversary({0}, 777).gst() == 777
+
+
+class TestMinorityPartition:
+    def test_no_quorum_no_commits_during_split(self):
+        """A 2-2 split leaves no side with 2f+1 = 3 replicas: nothing can
+        commit while the partition holds — and nothing unsafe happens."""
+        cluster = build_partitioned(heal_at_us=8 * SECONDS)
+        cluster.sim.run(until=7 * SECONDS)
+        for node in cluster.nodes:
+            assert len(node.output_sequence()) == 0
+        from repro.core.smr import check_prefix_consistency
+
+        outputs = {n.pid: n.output_sequence() for n in cluster.nodes}
+        assert check_prefix_consistency(outputs) is None
+
+    def test_liveness_resumes_after_heal(self):
+        cluster = build_partitioned(heal_at_us=3 * SECONDS)
+        result = cluster.run()
+        assert result.safety_violation is None
+        assert result.committed_count > 0
+        # All four replicas converge on the same log.
+        lens = {len(n.output_sequence()) for n in cluster.nodes}
+        assert max(lens) > 0

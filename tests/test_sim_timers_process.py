@@ -1,0 +1,189 @@
+"""Unit tests for timers, the CPU model, processes, and seed management."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import CpuModel, SimProcess
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.timers import Timer, TimerWheel
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run()
+        assert fired == [100]
+        assert timer.fired_count == 1
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.schedule(50, lambda: timer.start(100))  # re-arm at t=50
+        sim.run()
+        assert fired == [150]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(10)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_armed_state(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(10)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+
+class TestTimerWheel:
+    def test_named_timers_independent(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("a", 10, lambda: fired.append("a"))
+        wheel.set("b", 20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_set_rearms_and_rebinds(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("x", 10, lambda: fired.append("old"))
+        wheel.set("x", 20, lambda: fired.append("new"))
+        sim.run()
+        assert fired == ["new"]
+
+    def test_cancel_by_name(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("x", 10, lambda: fired.append(1))
+        wheel.cancel("x")
+        sim.run()
+        assert fired == []
+
+    def test_close_cancels_all_and_blocks_new(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("x", 10, lambda: fired.append(1))
+        wheel.close()
+        sim.run()
+        assert fired == []
+        with pytest.raises(RuntimeError):
+            wheel.set("y", 10, lambda: None)
+
+    def test_armed_query(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        assert not wheel.armed("x")
+        wheel.set("x", 10, lambda: None)
+        assert wheel.armed("x")
+
+
+class TestCpuModel:
+    def test_serialises_work(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        assert cpu.acquire(100) == 100
+        assert cpu.acquire(50) == 150  # queued behind the first job
+
+    def test_idle_gap_resets_start(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(10)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert cpu.acquire(10) == 110
+
+    def test_speed_scales_cost(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, speed=2.0)
+        assert cpu.acquire(100) == 50
+
+    def test_zero_cost_passthrough(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        assert cpu.acquire(0) == 0
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        with pytest.raises(ValueError):
+            cpu.acquire(-1)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            CpuModel(Simulator(), speed=0)
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(30)
+        cpu.acquire(20)
+        assert cpu.busy_time == 50
+
+
+class TestSimProcess:
+    def test_charge_with_callback_runs_at_completion(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        done = []
+        p.charge(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [100]
+
+    def test_crash_stops_timers(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        fired = []
+        p.timers.set("t", 10, lambda: fired.append(1))
+        p.crash()
+        sim.run()
+        assert fired == []
+        assert p.crashed
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_streams_are_stable_objects(self):
+        reg = RngRegistry(5)
+        g1 = reg.get("net")
+        g2 = reg.get("net")
+        assert g1 is g2
+
+    def test_streams_independent(self):
+        reg = RngRegistry(5)
+        a = reg.get("a").integers(0, 1 << 30, size=10)
+        b = reg.get("b").integers(0, 1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(9).get("x").integers(0, 1 << 30, size=20)
+        b = RngRegistry(9).get("x").integers(0, 1 << 30, size=20)
+        assert np.array_equal(a, b)
+
+    def test_fork_creates_disjoint_root(self):
+        reg = RngRegistry(3)
+        child = reg.fork("child")
+        assert child.root_seed != reg.root_seed

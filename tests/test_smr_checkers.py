@@ -1,0 +1,95 @@
+"""Tests for the SMR correctness oracles."""
+
+from repro.core.smr import (
+    check_lower_bounded,
+    check_output_sorted,
+    check_prefix_consistency,
+    front_running_succeeded,
+    is_prefix,
+    ordering_of,
+)
+
+
+def entry(seq, tag):
+    return (seq, tag.encode().ljust(32, b"\x00"))
+
+
+class TestPrefix:
+    def test_is_prefix(self):
+        assert is_prefix([], [1, 2])
+        assert is_prefix([1], [1, 2])
+        assert not is_prefix([2], [1, 2])
+        assert not is_prefix([1, 2, 3], [1, 2])
+
+    def test_consistent_logs_pass(self):
+        a = [entry(1, "a"), entry(2, "b")]
+        outputs = {0: a, 1: a[:1], 2: a}
+        assert check_prefix_consistency(outputs) is None
+
+    def test_divergence_detected(self):
+        outputs = {
+            0: [entry(1, "a"), entry(2, "b")],
+            1: [entry(1, "a"), entry(2, "c")],
+        }
+        report = check_prefix_consistency(outputs)
+        assert report is not None and "position 1" in report
+
+    def test_empty_logs_pass(self):
+        assert check_prefix_consistency({0: [], 1: []}) is None
+
+    def test_single_node_passes(self):
+        assert check_prefix_consistency({0: [entry(1, "a")]}) is None
+
+
+class TestSorted:
+    def test_sorted_passes(self):
+        assert check_output_sorted([entry(1, "a"), entry(2, "b")]) is None
+
+    def test_unsorted_detected(self):
+        report = check_output_sorted([entry(2, "b"), entry(1, "a")])
+        assert report is not None
+
+    def test_equal_seq_tie_by_cipher(self):
+        log = [(5, b"a" * 32), (5, b"b" * 32)]
+        assert check_output_sorted(log) is None
+        assert check_output_sorted(list(reversed(log))) is not None
+
+
+class TestLowerBounded:
+    def test_holds(self):
+        decided = {b"c1": 100}
+        perceived = {0: {b"c1": 95}, 1: {b"c1": 105}}
+        assert check_lower_bounded(decided, perceived, lambda_us=10) == []
+
+    def test_violation_detected(self):
+        decided = {b"c1": 50}
+        perceived = {0: {b"c1": 100}, 1: {b"c1": 120}}
+        violations = check_lower_bounded(decided, perceived, lambda_us=10)
+        assert len(violations) == 1
+
+    def test_unobserved_cipher_skipped(self):
+        assert check_lower_bounded({b"c9": 1}, {0: {}}, 5) == []
+
+    def test_lambda_slack_respected(self):
+        decided = {b"c1": 90}
+        perceived = {0: {b"c1": 100}}
+        assert check_lower_bounded(decided, perceived, lambda_us=10) == []
+        assert check_lower_bounded(decided, perceived, lambda_us=9) != []
+
+
+class TestFrontRunOracle:
+    def test_positions(self):
+        log = [entry(1, "v"), entry(2, "a")]
+        assert ordering_of(log, log[0][1]) == 0
+        assert ordering_of(log, b"missing" + b"\x00" * 25) is None
+
+    def test_attack_detection(self):
+        victim, attacker = entry(2, "v")[1], entry(1, "a")[1]
+        log = [(1, attacker), (2, victim)]
+        assert front_running_succeeded(log, victim, attacker) is True
+        log2 = [(1, victim), (2, attacker)]
+        assert front_running_succeeded(log2, victim, attacker) is False
+
+    def test_uncommitted_returns_none(self):
+        log = [entry(1, "v")]
+        assert front_running_succeeded(log, log[0][1], b"x" * 32) is None

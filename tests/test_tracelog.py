@@ -1,0 +1,107 @@
+"""Tests for the protocol trace log and the latency-decomposition and
+Δ-sensitivity experiments built on it."""
+
+import pytest
+
+from repro.core.types import InstanceId
+from repro.harness import build_lyra_cluster
+from repro.harness.experiments import delta_ablation, latency_breakdown
+from repro.metrics.tracelog import PHASES, TraceEvent, TraceLog, install_lyra_tracing
+from repro.sim.engine import SECONDS
+
+from tests.helpers import quick_lyra_config
+
+
+class TestTraceLog:
+    def test_record_and_query(self):
+        log = TraceLog()
+        iid = InstanceId(2, 5)
+        log.record(100, 0, "proposed", iid, txs=3)
+        log.record(400, 0, "decided", iid, value=1)
+        log.record(200, 1, "proposed", InstanceId(1, 1))
+        assert len(log) == 3
+        assert len(log.for_instance(iid)) == 2
+        assert log.kinds() == {"proposed": 2, "decided": 1}
+
+    def test_first_times_per_node(self):
+        log = TraceLog()
+        iid = InstanceId(0, 0)
+        log.record(100, 0, "proposed", iid)
+        log.record(150, 1, "proposed", iid)
+        log.record(500, 0, "decided", iid)
+        assert log.first_times(iid, node=0) == {"proposed": 100, "decided": 500}
+        assert log.first_times(iid, node=1) == {"proposed": 150}
+
+    def test_phase_durations(self):
+        log = TraceLog()
+        iid = InstanceId(0, 0)
+        for t, kind in zip((100, 400, 700, 800), PHASES):
+            log.record(t, 0, kind, iid)
+        durations = log.phase_durations_us(iid, 0)
+        assert durations["proposed->decided"] == 300
+        assert durations["decided->committed"] == 300
+        assert durations["committed->executed"] == 100
+        assert durations["total"] == 700
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = TraceLog()
+        log.record(1, 0, "proposed", InstanceId(0, 0), txs=2)
+        log.record(2, 1, "decided", None)
+        path = str(tmp_path / "trace.jsonl")
+        assert log.dump_jsonl(path) == 2
+        loaded = TraceLog.load_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.events[0].kind == "proposed"
+        assert dict(loaded.events[0].detail)["txs"] == 2
+
+
+class TestClusterTracing:
+    def test_instrumented_run_emits_pipeline_events(self):
+        cluster = build_lyra_cluster(quick_lyra_config())
+        log = install_lyra_tracing(cluster)
+        cluster.run()
+        kinds = log.kinds()
+        for kind in PHASES:
+            assert kinds.get(kind, 0) > 0, f"no {kind} events"
+        # Every committed instance passed through all phases at node 0.
+        node0 = cluster.nodes[0]
+        for entry in node0.commit.output_log[:3]:
+            times = log.first_times(entry.instance, node=0)
+            assert "committed" in times and "executed" in times
+            assert times["committed"] <= times["executed"]
+
+
+class TestLatencyBreakdown:
+    def test_phases_sum_to_total(self):
+        rows = latency_breakdown()
+        by_phase = {r["phase"]: r for r in rows}
+        assert set(by_phase) == {
+            "proposed->decided",
+            "decided->committed",
+            "committed->executed",
+            "total",
+        }
+        parts = (
+            by_phase["proposed->decided"]["mean_ms"]
+            + by_phase["decided->committed"]["mean_ms"]
+            + by_phase["committed->executed"]["mean_ms"]
+        )
+        assert abs(parts - by_phase["total"]["mean_ms"]) < 1.0
+
+    def test_boc_phase_within_L(self):
+        """The BOC decision must fit inside the acceptance window L = 3Δ
+        (450 ms at the default Δ) — that is what makes L a sound bound."""
+        rows = latency_breakdown()
+        by_phase = {r["phase"]: r for r in rows}
+        assert by_phase["proposed->decided"]["max_ms"] <= 450.0
+
+
+class TestDeltaAblation:
+    def test_latency_tracks_three_delta(self):
+        rows = delta_ablation((75, 300))
+        by_delta = {r["delta_ms"]: r for r in rows}
+        assert by_delta[75]["safety"] is None
+        assert by_delta[300]["safety"] is None
+        # End-to-end latency grows with Δ at roughly the 3Δ window rate.
+        gap = by_delta[300]["latency_ms"] - by_delta[75]["latency_ms"]
+        assert 2.0 * (300 - 75) <= gap <= 4.0 * (300 - 75)
