@@ -5,8 +5,12 @@ Pompē on the Oregon/Ireland/Sydney topology.  Paper shape: Lyra stays flat
 and sub-second; Pompē costs roughly 2x more rounds, with the gap widening
 at scale (leader relay + quadratic verification).
 
+The (protocol, n) grid runs through :mod:`repro.harness.sweep`: set
+``REPRO_WORKERS=<k>`` to fan the cells across CPU cores and
+``REPRO_CACHE=<dir>`` to resume/reuse already-computed cells.
+
 Quick mode sweeps n ∈ {4, 7, 10}; ``REPRO_FULL=1`` sweeps the paper's
-n ∈ {5, 10, 16, 31, 61, 100} (several minutes).
+n ∈ {5, 10, 16, 31, 61, 100} (several minutes uncached).
 """
 
 from repro.harness.experiments import (

@@ -8,7 +8,9 @@ Two parts:
    small n then decays ~1/n; Lyra rises to ~240k tx/s at n = 100 where its
    replica CPU saturates; ~7x ratio at n = 100.
 2. A message-level closed-loop validation run at small n confirming the
-   direction (Lyra sustains offered load end to end).
+   direction (Lyra sustains offered load end to end).  The validation
+   cells run through :mod:`repro.harness.sweep` — ``REPRO_WORKERS`` /
+   ``REPRO_CACHE`` parallelise and cache them.
 """
 
 from repro.harness.experiments import (

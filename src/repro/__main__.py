@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any paper artefact.
+"""Command-line entry point: regenerate any paper artefact, run single
+clusters, or fan out cached parallel sweeps.
 
 Usage::
 
@@ -14,7 +15,16 @@ Usage::
     python -m repro report          # write results/results.json + REPORT.md
     python -m repro all             # everything above (quick mode)
 
-Set ``REPRO_FULL=1`` for the paper's full node counts.
+    python -m repro run --protocol pompe --n 7          # one cluster
+    python -m repro sweep --protocol lyra,pompe \\
+        --n 4 7 10 --seeds 1 2 3 --workers 4 \\
+        --cache-dir results/sweep-cache                  # cached grid
+
+Cluster-running commands accept a uniform ``--protocol`` flag mapping onto
+the :func:`repro.harness.build_cluster` factory.  Set ``REPRO_FULL=1`` for
+the paper's full node counts; ``REPRO_WORKERS`` / ``REPRO_CACHE``
+parallelise and cache the figure entry points the same way ``sweep`` does
+explicitly.
 """
 
 from __future__ import annotations
@@ -32,6 +42,57 @@ def _print(title: str, rows) -> None:
     print(exp.format_rows(rows))
 
 
+def _parse_protocols(value: str):
+    from repro.harness.factory import available_protocols
+
+    names = tuple(p.strip().lower() for p in value.split(",") if p.strip())
+    unknown = [p for p in names if p not in available_protocols()]
+    if unknown:
+        raise SystemExit(
+            f"unknown protocol(s) {', '.join(unknown)}; "
+            f"available: {', '.join(available_protocols())}"
+        )
+    if not names:
+        raise SystemExit("--protocol needs at least one protocol name")
+    return names
+
+
+def _add_protocol_flag(parser, default: str) -> None:
+    parser.add_argument(
+        "--protocol",
+        default=default,
+        help=f"comma-separated protocol name(s) (default: {default})",
+    )
+
+
+def _config_from_args(args, n: int, seed: int):
+    from repro.harness.config import ExperimentConfig
+    from repro.sim.engine import MILLISECONDS
+
+    return ExperimentConfig(
+        n_nodes=n,
+        seed=seed,
+        batch_size=args.batch,
+        lambda_us=args.lambda_ms * MILLISECONDS,
+        clients_per_node=args.clients,
+        client_window=args.window,
+        duration_us=args.duration_ms * MILLISECONDS,
+        warmup_rounds=args.warmup_rounds,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+
+
+def _add_config_flags(parser) -> None:
+    parser.add_argument("--batch", type=int, default=10, help="batch size")
+    parser.add_argument("--lambda-ms", type=int, default=5, help="λ in ms")
+    parser.add_argument("--clients", type=int, default=1, help="clients per node")
+    parser.add_argument("--window", type=int, default=5, help="client window")
+    parser.add_argument(
+        "--duration-ms", type=int, default=4000, help="virtual duration in ms"
+    )
+    parser.add_argument("--warmup-rounds", type=int, default=2)
+
+
 def cmd_fig1(args) -> None:
     _print("FIG 1 — front-running", exp.fig1_frontrunning())
 
@@ -39,11 +100,13 @@ def cmd_fig1(args) -> None:
 def cmd_fig2(args) -> None:
     from repro.metrics.ascii_chart import chart_fig2
 
+    protocols = _parse_protocols(args.protocol)
     ns = [int(x) for x in args.ns] if args.ns else None
-    rows = exp.fig2_commit_latency(ns)
+    rows = exp.fig2_commit_latency(ns, protocols=protocols)
     _print("FIG 2 — commit latency vs n (ms)", rows)
-    print()
-    print(chart_fig2(rows))
+    if set(protocols) >= {"lyra", "pompe"}:
+        print()
+        print(chart_fig2(rows))
 
 
 def cmd_fig3(args) -> None:
@@ -89,10 +152,85 @@ def cmd_report(args) -> None:
     generate_report(args.outdir)
 
 
+def cmd_run(args) -> None:
+    """Run one cluster through the unified factory and print its result."""
+    from repro.harness.factory import build_cluster
+
+    protocol = _parse_protocols(args.protocol)[0]
+    config = _config_from_args(args, args.n, args.seed)
+    result = build_cluster(config, protocol=protocol).run()
+    _print(
+        f"RUN — {protocol} n={args.n} seed={args.seed}",
+        {
+            "protocol": protocol,
+            "n": args.n,
+            "seed": args.seed,
+            "committed": result.committed_count,
+            "throughput_tps": round(result.throughput_tps, 1),
+            "latency_ms": round(result.avg_latency_ms, 1),
+            "p99_ms": round(result.p99_latency_us / 1000.0, 1),
+            "safety": result.safety_violation,
+        },
+    )
+
+
+def cmd_sweep(args) -> None:
+    """Fan a (protocol, n, seed) grid across workers with result caching."""
+    from repro.harness.sweep import grid_cells, run_sweep
+
+    protocols = _parse_protocols(args.protocol)
+    base = _config_from_args(args, args.n[0], args.seeds[0])
+    cells = grid_cells(
+        base, protocols=protocols, seeds=args.seeds, n_nodes=args.n
+    )
+
+    def _progress(record, done, total) -> None:
+        state = (
+            "cached"
+            if record.cached
+            else ("ok" if record.ok else f"FAILED: {record.error}")
+        )
+        print(
+            f"[{done}/{total}] {record.protocol:>6} "
+            f"n={record.config['n_nodes']:<3} seed={record.config['seed']:<3} "
+            f"{record.key[:12]} {state}",
+            flush=True,
+        )
+
+    report = run_sweep(
+        cells,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        force=args.force,
+        progress=_progress,
+    )
+    rows = [
+        {
+            "protocol": r.protocol,
+            "n": r.config["n_nodes"],
+            "seed": r.config["seed"],
+            "cached": r.cached,
+            "committed": r.result.committed_count if r.ok else None,
+            "throughput_tps": round(r.result.throughput_tps, 1) if r.ok else None,
+            "latency_ms": round(r.result.avg_latency_ms, 1) if r.ok else None,
+            "safety": r.result.safety_violation if r.ok else r.error,
+        }
+        for r in report.records
+    ]
+    _print(
+        f"SWEEP — {len(cells)} cells "
+        f"({report.executed} run, {report.cache_hits} cached, "
+        f"{report.failures} failed)",
+        rows,
+    )
+    if report.failures:
+        raise SystemExit(1)
+
+
 def cmd_all(args) -> None:
     cmd_rounds(args)
     cmd_fig1(args)
-    cmd_fig2(argparse.Namespace(ns=None))
+    cmd_fig2(argparse.Namespace(ns=None, protocol="lyra,pompe"))
     cmd_fig3(args)
     cmd_lambda(args)
     cmd_batch(args)
@@ -110,8 +248,11 @@ def main(argv=None) -> int:
     sub.add_parser("fig1").set_defaults(fn=cmd_fig1)
     p2 = sub.add_parser("fig2")
     p2.add_argument("ns", nargs="*", help="node counts (default: quick sweep)")
+    _add_protocol_flag(p2, "lyra,pompe")
     p2.set_defaults(fn=cmd_fig2)
-    sub.add_parser("fig3").set_defaults(fn=cmd_fig3)
+    p3 = sub.add_parser("fig3")
+    _add_protocol_flag(p3, "lyra,pompe")
+    p3.set_defaults(fn=cmd_fig3)
     sub.add_parser("rounds").set_defaults(fn=cmd_rounds)
     sub.add_parser("lambda").set_defaults(fn=cmd_lambda)
     sub.add_parser("batch").set_defaults(fn=cmd_batch)
@@ -121,6 +262,36 @@ def main(argv=None) -> int:
     pr = sub.add_parser("report")
     pr.add_argument("--outdir", default="results")
     pr.set_defaults(fn=cmd_report)
+
+    prun = sub.add_parser("run", help="run one cluster via the factory")
+    _add_protocol_flag(prun, "lyra")
+    prun.add_argument("--n", type=int, default=4, help="cluster size")
+    prun.add_argument("--seed", type=int, default=1)
+    _add_config_flags(prun)
+    prun.set_defaults(fn=cmd_run)
+
+    psweep = sub.add_parser(
+        "sweep", help="parallel cached sweep over a (protocol, n, seed) grid"
+    )
+    _add_protocol_flag(psweep, "lyra")
+    psweep.add_argument(
+        "--n", type=int, nargs="+", default=[4], help="node counts to sweep"
+    )
+    psweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[1], help="seeds to sweep"
+    )
+    psweep.add_argument("--workers", type=int, default=1)
+    psweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist per-cell JSONL results here; re-runs skip cached cells",
+    )
+    psweep.add_argument(
+        "--force", action="store_true", help="ignore and overwrite cached cells"
+    )
+    _add_config_flags(psweep)
+    psweep.set_defaults(fn=cmd_sweep)
+
     sub.add_parser("all").set_defaults(fn=cmd_all)
     args = parser.parse_args(argv)
     args.fn(args)

@@ -21,6 +21,36 @@ from repro.sim.engine import Simulator
 from repro.sim.timers import TimerWheel
 
 
+class NullTransport:
+    """Fallback transport for services built without ``send_fn`` /
+    ``broadcast_fn``.
+
+    Historically the defaults were silent no-op lambdas, which made a
+    mis-wired harness indistinguishable from a quiet protocol: messages
+    vanished without a trace.  The null transport still drops everything
+    (protocol state machines stay unit-testable without a network) but
+    counts every drop and remembers the last message, so tests can assert
+    ``services.dropped_messages == 0`` — or spot a wiring bug immediately.
+    """
+
+    def __init__(self) -> None:
+        self.dropped_sends = 0
+        self.dropped_broadcasts = 0
+        self.last_dropped: Optional[Message] = None
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_sends + self.dropped_broadcasts
+
+    def send(self, dst: int, message: Message) -> None:
+        self.dropped_sends += 1
+        self.last_dropped = message
+
+    def broadcast(self, message: Message) -> None:
+        self.dropped_broadcasts += 1
+        self.last_dropped = message
+
+
 @dataclass
 class ProtocolServices:
     """Everything a protocol instance needs from its host."""
@@ -34,12 +64,15 @@ class ProtocolServices:
     registry: KeyRegistry
     threshold: ThresholdScheme
     costs: CryptoCosts = field(default_factory=lambda: DEFAULT_COSTS)
-    #: Point-to-point send: (dst, Message) -> None.
-    send_fn: Callable[[int, Message], None] = lambda dst, msg: None
+    #: Point-to-point send: (dst, Message) -> None.  ``None`` wires a
+    #: drop-counting :class:`NullTransport` instead of losing messages
+    #: invisibly.
+    send_fn: Optional[Callable[[int, Message], None]] = None
     #: Broadcast to all replicas: (Message) -> None.
-    broadcast_fn: Callable[[Message], None] = lambda msg: None
+    broadcast_fn: Optional[Callable[[Message], None]] = None
     timers: Optional[TimerWheel] = None
     threshold_signer: Optional[ThresholdSigner] = None
+    null_transport: Optional[NullTransport] = None
 
     def __post_init__(self) -> None:
         if self.n <= 3 * self.f and self.f > 0:
@@ -48,6 +81,18 @@ class ProtocolServices:
             self.timers = TimerWheel(self.sim)
         if self.threshold_signer is None:
             self.threshold_signer = self.threshold.share_signer(self.pid)
+        if self.send_fn is None or self.broadcast_fn is None:
+            if self.null_transport is None:
+                self.null_transport = NullTransport()
+            if self.send_fn is None:
+                self.send_fn = self.null_transport.send
+            if self.broadcast_fn is None:
+                self.broadcast_fn = self.null_transport.broadcast
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages swallowed by the null transport (0 when fully wired)."""
+        return self.null_transport.dropped if self.null_transport else 0
 
     @property
     def quorum(self) -> int:
@@ -66,4 +111,4 @@ class ProtocolServices:
         self.broadcast_fn(Message(kind, payload, size))
 
 
-__all__ = ["ProtocolServices"]
+__all__ = ["ProtocolServices", "NullTransport"]

@@ -1,0 +1,60 @@
+"""Bounded memoization for repeated cryptographic verifications.
+
+Consensus re-verifies the same (digest, signer, tag) triples constantly:
+every replica checks the same 2f+1 shares, relayed proofs are re-checked at
+every hop, and retransmissions repeat all of it.  Verification is
+referentially transparent — the same key always yields the same verdict —
+so a small cache removes the redundant MAC work without changing any
+observable behaviour (forged tags cache ``False`` just as honestly as valid
+tags cache ``True``).
+
+The cache is FIFO-bounded so long adversarial runs cannot grow it without
+limit; hit/miss counters are exposed for benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+
+class MemoCache:
+    """A bounded FIFO-eviction memo table for verification verdicts."""
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Hashable, bool] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[bool]:
+        verdict = self._entries.get(key)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def put(self, key: Hashable, verdict: bool) -> bool:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            # FIFO eviction: drop the oldest insertion (dict preserves order).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = verdict
+        return verdict
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+__all__ = ["MemoCache"]

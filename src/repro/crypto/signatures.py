@@ -9,6 +9,11 @@ Unforgeability is by capability discipline: the simulation hands each
 process exactly its own :class:`Signer`, so no process (including simulated
 Byzantine ones) can sign for another.  Tag length and verify cost match
 Ed25519-class signatures via :mod:`repro.crypto.cost`.
+
+Verification is memoized per registry, keyed on ``(signer, digest, tag)``:
+quorum certificates and relayed proofs make every replica re-verify the
+same signatures many times, and the verdict for a given triple never
+changes, so repeat verifications skip the MAC recomputation.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict
 
 from repro.crypto.hashing import digest_of
+from repro.crypto.memo import MemoCache
 from repro.sim.rng import derive_seed
 
 SIGNATURE_BYTES = 64
@@ -44,6 +50,7 @@ class KeyRegistry:
     def __init__(self, seed: int = 0) -> None:
         self._seed = int(seed)
         self._keys: Dict[int, bytes] = {}
+        self._verify_cache = MemoCache()
 
     def _key(self, pid: int) -> bytes:
         key = self._keys.get(pid)
@@ -62,10 +69,22 @@ class KeyRegistry:
 
     def verify(self, message: Any, signature: Signature, pid: int) -> bool:
         """``public-verify(m, sigma, j)`` — check ``signature`` was produced
-        by ``pid`` over ``message``."""
+        by ``pid`` over ``message``.  Memoized on ``(pid, digest, tag)``."""
         if signature.signer != pid:
             return False
-        return hmac.compare_digest(self._tag(pid, message), signature.tag)
+        digest = digest_of(message)
+        key = (pid, digest, signature.tag)
+        verdict = self._verify_cache.get(key)
+        if verdict is not None:
+            return verdict
+        expect = hmac.new(self._key(pid), digest, hashlib.sha512).digest()
+        return self._verify_cache.put(
+            key, hmac.compare_digest(expect, signature.tag)
+        )
+
+    def verify_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the verification memo (diagnostics)."""
+        return self._verify_cache.stats()
 
 
 class Signer:
@@ -80,6 +99,10 @@ class Signer:
         """``private-sign(m)``."""
         tag = hmac.new(self._key, digest_of(message), hashlib.sha512).digest()
         return Signature(self.pid, tag)
+
+    def verify(self, message: Any, signature: Signature, pid: int) -> bool:
+        """Convenience passthrough to the registry's memoized verify."""
+        return self._registry.verify(message, signature, pid)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Signer(pid={self.pid})"

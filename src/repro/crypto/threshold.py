@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Tuple
 
 from repro.crypto.hashing import digest_of
+from repro.crypto.memo import MemoCache
 from repro.sim.rng import derive_seed
 
 SHARE_BYTES = 48
@@ -73,6 +74,7 @@ class ThresholdScheme:
             derive_seed(seed, "threshold-master").to_bytes(8, "big")
         ).digest()
         self._share_keys: Dict[int, bytes] = {}
+        self._verify_cache = MemoCache()
 
     # ------------------------------------------------------------------
     def _share_key(self, pid: int) -> bytes:
@@ -90,11 +92,20 @@ class ThresholdScheme:
 
     # ------------------------------------------------------------------
     def share_verify(self, message: Any, share: SignatureShare, pid: int) -> bool:
-        """``share-verify(m, pi, j)``."""
+        """``share-verify(m, pi, j)``.  Memoized on ``(pid, digest, tag)`` —
+        quorum collection re-verifies the same 2f+1 shares at every replica,
+        and a triple's verdict never changes."""
         if share.signer != pid or not (0 <= pid < self.n):
             return False
-        expect = hmac.new(self._share_key(pid), digest_of(message), hashlib.sha384)
-        return hmac.compare_digest(expect.digest(), share.tag)
+        digest = digest_of(message)
+        key = ("share", pid, digest, share.tag)
+        verdict = self._verify_cache.get(key)
+        if verdict is not None:
+            return verdict
+        expect = hmac.new(self._share_key(pid), digest, hashlib.sha384)
+        return self._verify_cache.put(
+            key, hmac.compare_digest(expect.digest(), share.tag)
+        )
 
     def combine(
         self, message: Any, shares: Iterable[SignatureShare]
@@ -117,14 +128,24 @@ class ThresholdScheme:
         return ThresholdSignature(tag, len(valid))
 
     def verify_full(self, signature: ThresholdSignature, message: Any) -> bool:
-        """``share-threshold(Pi, m)``."""
-        expect = hmac.new(
-            self._master, b"full:" + digest_of(message), hashlib.sha384
-        ).digest()
-        return (
-            signature.signer_count >= self.threshold
-            and hmac.compare_digest(expect, signature.tag)
+        """``share-threshold(Pi, m)``.  The tag check is memoized; the
+        quorum-count check is repeated (it is part of the signature value,
+        not of the keyed computation)."""
+        if signature.signer_count < self.threshold:
+            return False
+        digest = digest_of(message)
+        key = ("full", digest, signature.tag)
+        verdict = self._verify_cache.get(key)
+        if verdict is not None:
+            return verdict
+        expect = hmac.new(self._master, b"full:" + digest, hashlib.sha384).digest()
+        return self._verify_cache.put(
+            key, hmac.compare_digest(expect, signature.tag)
         )
+
+    def verify_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the verification memo (diagnostics)."""
+        return self._verify_cache.stats()
 
 
 class ThresholdSigner:

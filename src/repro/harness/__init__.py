@@ -1,9 +1,14 @@
-"""Experiment harness: cluster builders and figure regenerators.
+"""Experiment harness: cluster builders, sweeps and figure regenerators.
 
-- :func:`build_lyra_cluster` / :func:`build_pompe_cluster` — assemble a
-  full simulated deployment from an :class:`ExperimentConfig`.
+- :func:`build_cluster` — the unified factory: assemble a full simulated
+  deployment for any registered protocol from an :class:`ExperimentConfig`.
+- :mod:`repro.harness.sweep` — parallel (config, seed) grid sweeps with
+  content-addressed result caching.
 - :mod:`repro.harness.experiments` — one entry point per paper artefact
   (Fig. 1, Fig. 2, Fig. 3, plus the ablations listed in DESIGN.md §4).
+
+``build_lyra_cluster`` / ``build_pompe_cluster`` remain as deprecated
+shims over :func:`build_cluster`.
 """
 
 from repro.harness.config import ExperimentConfig
@@ -12,10 +17,31 @@ from repro.harness.cluster import (
     LyraCluster,
     build_lyra_cluster,
 )
+from repro.harness.factory import (
+    available_protocols,
+    build_cluster,
+    register_protocol,
+)
+from repro.harness.pompe_cluster import PompeCluster, build_pompe_cluster
+from repro.harness.sweep import (
+    SweepCell,
+    SweepReport,
+    grid_cells,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "LyraCluster",
+    "PompeCluster",
+    "build_cluster",
+    "register_protocol",
+    "available_protocols",
     "build_lyra_cluster",
+    "build_pompe_cluster",
+    "SweepCell",
+    "SweepReport",
+    "grid_cells",
+    "run_sweep",
 ]

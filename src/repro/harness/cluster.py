@@ -10,7 +10,7 @@ results.  The Pompē equivalent lives in :mod:`repro.harness.pompe_cluster`.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.commit import CommitConfig
@@ -55,6 +55,22 @@ class ExperimentResult:
     @property
     def avg_latency_ms(self) -> float:
         return self.avg_latency_us / 1000.0
+
+    # ------------------------------------------------------------------
+    # Serialization — sweep cells persist results as JSON and ship them
+    # across worker process boundaries.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation (round-trips via from_dict)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentResult fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class LyraCluster:
@@ -141,6 +157,19 @@ class LyraCluster:
                 start_at_us=config.client_start_us(),
             )
             self.clients.append(client)
+        # Light-load latency probes (Fig. 2 rig), one per node up to the
+        # configured count.
+        for home in range(min(config.probe_clients, n)):
+            cpid = self.topology.place(self.topology.region_of(home))
+            self.clients.append(
+                ClosedLoopClient(
+                    cpid,
+                    self.sim,
+                    home,
+                    window=config.probe_window,
+                    start_at_us=config.client_start_us(),
+                )
+            )
 
         # Network.
         latency = GeoLatencyModel(
@@ -261,8 +290,20 @@ def build_lyra_cluster(
     node_classes: Optional[Dict[int, type]] = None,
     node_kwargs: Optional[Dict[int, dict]] = None,
 ) -> LyraCluster:
-    """Construct (but do not run) a Lyra cluster."""
-    return LyraCluster(config, node_classes=node_classes, node_kwargs=node_kwargs)
+    """Deprecated: use ``build_cluster(config, protocol="lyra")``."""
+    import warnings
+
+    warnings.warn(
+        "build_lyra_cluster is deprecated; use "
+        "repro.harness.build_cluster(config, protocol='lyra')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.harness.factory import build_cluster
+
+    return build_cluster(
+        config, protocol="lyra", node_classes=node_classes, node_kwargs=node_kwargs
+    )
 
 
 __all__ = ["LyraCluster", "ExperimentResult", "build_lyra_cluster"]

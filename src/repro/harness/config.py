@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.net.topology import EVAL_REGIONS
 from repro.sim.engine import MILLISECONDS, SECONDS
@@ -46,6 +46,10 @@ class ExperimentConfig:
     # Workload.
     clients_per_node: int = 1
     client_window: int = 50
+    #: Extra light-load probe clients (one per node, up to this count) with
+    #: their own small request window — the Fig. 2 latency measurement rig.
+    probe_clients: int = 0
+    probe_window: int = 1
     duration_us: int = 5 * SECONDS
     #: Measurement starts after clients have ramped up.
     measure_after_us: Optional[int] = None
@@ -69,6 +73,26 @@ class ExperimentConfig:
             return self.measure_after_us
         # Skip the first second of client traffic (pipeline fill).
         return self.client_start_us() + 1 * SECONDS
+
+    # ------------------------------------------------------------------
+    # Serialization — sweep cells cross process boundaries and are cached
+    # on disk keyed by a content hash of this exact representation.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (round-trips via from_dict)."""
+        data = asdict(self)
+        data["regions"] = list(self.regions)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output; unknown keys are
+        rejected so stale cache entries fail loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 __all__ = ["ExperimentConfig"]

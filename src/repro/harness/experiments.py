@@ -5,6 +5,11 @@ figure plots — and is wrapped by a benchmark in ``benchmarks/``.  Set
 ``REPRO_FULL=1`` to sweep the paper's full node counts (n up to 100,
 minutes of wall-clock); the default quick sweeps keep CI fast while
 preserving every qualitative claim.
+
+Every cluster-running entry point routes through
+:func:`repro.harness.sweep.run_sweep`, so ``REPRO_WORKERS=<k>`` fans the
+grid across CPU cores and ``REPRO_CACHE=<dir>`` makes repeat invocations
+(and interrupted runs) reuse already-computed cells.
 """
 
 from __future__ import annotations
@@ -12,9 +17,15 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.cluster import build_lyra_cluster
 from repro.harness.config import ExperimentConfig
-from repro.harness.pompe_cluster import build_pompe_cluster
+from repro.harness.cluster import ExperimentResult
+from repro.harness.factory import build_cluster
+from repro.harness.sweep import (
+    SweepCell,
+    run_sweep,
+    sweep_cache_dir,
+    sweep_workers,
+)
 from repro.metrics.capacity import CapacityInputs, lyra_capacity, pompe_capacity
 from repro.sim.engine import MILLISECONDS, SECONDS
 
@@ -31,6 +42,23 @@ def node_counts() -> List[int]:
     return PAPER_NODE_COUNTS if full_mode() else QUICK_NODE_COUNTS
 
 
+def _sweep(cells: List[SweepCell]) -> List[ExperimentResult]:
+    """Run cells through the sweep runner (workers/cache from the
+    environment) and return their results in cell order, failing loudly on
+    any failed cell — figure generators must not silently drop points."""
+    report = run_sweep(
+        cells, workers=sweep_workers(), cache_dir=sweep_cache_dir()
+    )
+    failed = report.failed_records()
+    if failed:
+        first = failed[0]
+        raise RuntimeError(
+            f"{len(failed)} sweep cell(s) failed; first: "
+            f"{first.protocol} {first.config.get('n_nodes')} nodes — {first.error}"
+        )
+    return report.results()
+
+
 def _latency_config(n: int, seed: int = 3) -> ExperimentConfig:
     """Light-load config for latency measurement: a few probing clients,
     small batches, heartbeat cadence scaled to keep event counts sane."""
@@ -39,7 +67,9 @@ def _latency_config(n: int, seed: int = 3) -> ExperimentConfig:
         seed=seed,
         batch_size=8,
         batch_timeout_us=30 * MILLISECONDS,
-        clients_per_node=0,  # overridden below via probe_clients
+        clients_per_node=0,
+        probe_clients=3,
+        probe_window=1,
         duration_us=7 * SECONDS,
         warmup_rounds=3,
         warmup_spacing_us=200 * MILLISECONDS,
@@ -49,70 +79,65 @@ def _latency_config(n: int, seed: int = 3) -> ExperimentConfig:
 
 
 def fig2_commit_latency(
-    ns: Optional[Sequence[int]] = None, *, seed: int = 3
+    ns: Optional[Sequence[int]] = None,
+    *,
+    seed: int = 3,
+    protocols: Sequence[str] = ("lyra", "pompe"),
 ) -> List[Dict]:
     """Fig. 2: average commit latency vs cluster size, Lyra vs Pompē.
 
     Expected shape: Lyra stays flat and sub-second; Pompē roughly 2x Lyra
-    once n exceeds ~60 (more message rounds + leader relay).
+    once n exceeds ~60 (more message rounds + leader relay).  The
+    (protocol, n) grid runs through the sweep runner.
     """
+    from repro.metrics.capacity import (
+        lyra_loaded_latency_us,
+        pompe_loaded_latency_us,
+    )
+
+    ns = list(ns or node_counts())
+    cells = [
+        SweepCell(protocol, _latency_config(n, seed))
+        for n in ns
+        for protocol in protocols
+    ]
+    results = _sweep(cells)
+    by_cell = {
+        (cell.protocol, cell.config.n_nodes): res
+        for cell, res in zip(cells, results)
+    }
+
+    loaded_model = {
+        "lyra": lyra_loaded_latency_us,
+        "pompe": pompe_loaded_latency_us,
+    }
     rows: List[Dict] = []
-    for n in ns or node_counts():
-        lyra_cfg = _latency_config(n, seed)
-        lyra_cfg.clients_per_node = 0
-        lyra = build_lyra_cluster(lyra_cfg)
-        _install_probe_clients(lyra, count=3, window=1)
-        lyra_res = lyra.run()
-
-        pompe_cfg = _latency_config(n, seed)
-        pompe = build_pompe_cluster(pompe_cfg)
-        _install_probe_clients(pompe, count=3, window=1)
-        pompe_res = pompe.run()
-
-        from repro.metrics.capacity import (
-            lyra_loaded_latency_us,
-            pompe_loaded_latency_us,
-        )
-
+    for n in ns:
         f = (n - 1) // 3
-        lyra_loaded = lyra_loaded_latency_us(n, f, lyra_res.avg_latency_us)
-        pompe_loaded = pompe_loaded_latency_us(n, f, pompe_res.avg_latency_us)
-        rows.append(
-            {
-                "n": n,
-                "lyra_latency_ms": round(lyra_res.avg_latency_ms, 1),
-                "pompe_latency_ms": round(pompe_res.avg_latency_ms, 1),
-                "ratio": round(
-                    pompe_res.avg_latency_us / max(1.0, lyra_res.avg_latency_us), 2
-                ),
-                # At the benchmark operating point (queueing model on top of
-                # the measured protocol latency — see EXPERIMENTS.md FIG2).
-                "lyra_loaded_ms": round(lyra_loaded / 1000.0, 1),
-                "pompe_loaded_ms": round(pompe_loaded / 1000.0, 1),
-                "loaded_ratio": round(pompe_loaded / max(1.0, lyra_loaded), 2),
-                "lyra_safety": lyra_res.safety_violation,
-                "pompe_safety": pompe_res.safety_violation,
-            }
-        )
+        row: Dict = {"n": n}
+        loaded: Dict[str, float] = {}
+        for protocol in protocols:
+            res = by_cell[(protocol, n)]
+            row[f"{protocol}_latency_ms"] = round(res.avg_latency_ms, 1)
+            loaded[protocol] = loaded_model[protocol](n, f, res.avg_latency_us)
+        if "lyra" in loaded and "pompe" in loaded:
+            row["ratio"] = round(
+                by_cell[("pompe", n)].avg_latency_us
+                / max(1.0, by_cell[("lyra", n)].avg_latency_us),
+                2,
+            )
+        # At the benchmark operating point (queueing model on top of the
+        # measured protocol latency — see EXPERIMENTS.md FIG2).
+        for protocol in protocols:
+            row[f"{protocol}_loaded_ms"] = round(loaded[protocol] / 1000.0, 1)
+        if "lyra" in loaded and "pompe" in loaded:
+            row["loaded_ratio"] = round(
+                loaded["pompe"] / max(1.0, loaded["lyra"]), 2
+            )
+        for protocol in protocols:
+            row[f"{protocol}_safety"] = by_cell[(protocol, n)].safety_violation
+        rows.append(row)
     return rows
-
-
-def _install_probe_clients(cluster, *, count: int, window: int) -> None:
-    """Attach a few closed-loop probe clients to an already-built cluster."""
-    from repro.workload.clients import ClosedLoopClient
-
-    cfg = cluster.config
-    for home in range(min(count, cfg.n_nodes)):
-        cpid = cluster.topology.place(cluster.topology.region_of(home))
-        client = ClosedLoopClient(
-            cpid,
-            cluster.sim,
-            home,
-            window=window,
-            start_at_us=cfg.client_start_us(),
-        )
-        cluster.clients.append(client)
-        cluster.network.register(client, replica=False)
 
 
 def fig3_throughput(
@@ -157,8 +182,7 @@ def fig3_sim_validation(n: int = 4, *, seed: int = 5) -> Dict:
         warmup_rounds=2,
         warmup_spacing_us=150 * MILLISECONDS,
     )
-    lyra = build_lyra_cluster(cfg).run()
-    pompe = build_pompe_cluster(cfg).run()
+    lyra, pompe = _sweep([SweepCell("lyra", cfg), SweepCell("pompe", cfg)])
     return {
         "n": n,
         "lyra_tps": round(lyra.throughput_tps, 1),
@@ -224,21 +248,26 @@ def lambda_ablation(
     Sweeps λ and reports instance acceptance rate and latency: too-tight λ
     rejects honest proposals (predictions miss by jitter), large λ changes
     nothing for honest traffic."""
-    rows: List[Dict] = []
-    for lam in lambdas_ms:
-        cfg = ExperimentConfig(
-            n_nodes=n,
-            seed=seed,
-            lambda_us=lam * MILLISECONDS,
-            batch_size=10,
-            clients_per_node=1,
-            client_window=5,
-            duration_us=6 * SECONDS,
-            warmup_rounds=3,
-            warmup_spacing_us=150 * MILLISECONDS,
-            jitter=0.015,
+    cells = [
+        SweepCell(
+            "lyra",
+            ExperimentConfig(
+                n_nodes=n,
+                seed=seed,
+                lambda_us=lam * MILLISECONDS,
+                batch_size=10,
+                clients_per_node=1,
+                client_window=5,
+                duration_us=6 * SECONDS,
+                warmup_rounds=3,
+                warmup_spacing_us=150 * MILLISECONDS,
+                jitter=0.015,
+            ),
         )
-        res = build_lyra_cluster(cfg).run()
+        for lam in lambdas_ms
+    ]
+    rows: List[Dict] = []
+    for lam, res in zip(lambdas_ms, _sweep(cells)):
         total = res.accepted_instances + res.rejected_instances
         rows.append(
             {
@@ -310,7 +339,9 @@ def latency_breakdown(*, n: int = 4, seed: int = 29) -> List[Dict]:
         warmup_rounds=2,
         warmup_spacing_us=150 * MILLISECONDS,
     )
-    cluster = build_lyra_cluster(cfg)
+    # Needs the live cluster object for trace installation, so this one
+    # runs in-process rather than through the sweep runner.
+    cluster = build_cluster(cfg, protocol="lyra")
     log = install_lyra_tracing(cluster)
     cluster.run()
 
@@ -356,20 +387,25 @@ def delta_ablation(
     conservative Δ costs latency linearly; an aggressive Δ risks liveness
     during asynchrony (the partial-synchrony tests cover that side).
     """
-    rows: List[Dict] = []
-    for delta_ms in deltas_ms:
-        cfg = ExperimentConfig(
-            n_nodes=n,
-            seed=seed,
-            delta_us=delta_ms * MILLISECONDS,
-            batch_size=10,
-            clients_per_node=1,
-            client_window=5,
-            duration_us=8 * SECONDS,
-            warmup_rounds=2,
-            warmup_spacing_us=150 * MILLISECONDS,
+    cells = [
+        SweepCell(
+            "lyra",
+            ExperimentConfig(
+                n_nodes=n,
+                seed=seed,
+                delta_us=delta_ms * MILLISECONDS,
+                batch_size=10,
+                clients_per_node=1,
+                client_window=5,
+                duration_us=8 * SECONDS,
+                warmup_rounds=2,
+                warmup_spacing_us=150 * MILLISECONDS,
+            ),
         )
-        res = build_lyra_cluster(cfg).run()
+        for delta_ms in deltas_ms
+    ]
+    rows: List[Dict] = []
+    for delta_ms, res in zip(deltas_ms, _sweep(cells)):
         rows.append(
             {
                 "delta_ms": delta_ms,
@@ -390,21 +426,27 @@ def obfuscation_ablation(*, n: int = 4, seed: int = 19) -> List[Dict]:
     ciphers and more reveal traffic); hash commitments are compact but the
     reveal key is held by the proposer (a crashed proposer delays reveals).
     """
-    rows: List[Dict] = []
-    for scheme in ("vss", "hash"):
-        cfg = ExperimentConfig(
-            n_nodes=n,
-            seed=seed,
-            obfuscation=scheme,
-            check_dealing=(scheme == "vss"),
-            batch_size=10,
-            clients_per_node=1,
-            client_window=5,
-            duration_us=6 * SECONDS,
-            warmup_rounds=2,
-            warmup_spacing_us=150 * MILLISECONDS,
+    schemes = ("vss", "hash")
+    cells = [
+        SweepCell(
+            "lyra",
+            ExperimentConfig(
+                n_nodes=n,
+                seed=seed,
+                obfuscation=scheme,
+                check_dealing=(scheme == "vss"),
+                batch_size=10,
+                clients_per_node=1,
+                client_window=5,
+                duration_us=6 * SECONDS,
+                warmup_rounds=2,
+                warmup_spacing_us=150 * MILLISECONDS,
+            ),
         )
-        res = build_lyra_cluster(cfg).run()
+        for scheme in schemes
+    ]
+    rows: List[Dict] = []
+    for scheme, res in zip(schemes, _sweep(cells)):
         rows.append(
             {
                 "scheme": scheme,
@@ -427,20 +469,25 @@ def jitter_sensitivity(
     """How much WAN jitter the λ = 5 ms prediction budget tolerates:
     acceptance stays near 1.0 while per-link jitter stays in the
     single-millisecond range [26], then degrades."""
-    rows: List[Dict] = []
-    for jitter in jitters:
-        cfg = ExperimentConfig(
-            n_nodes=n,
-            seed=seed,
-            jitter=jitter,
-            batch_size=10,
-            clients_per_node=1,
-            client_window=5,
-            duration_us=6 * SECONDS,
-            warmup_rounds=3,
-            warmup_spacing_us=150 * MILLISECONDS,
+    cells = [
+        SweepCell(
+            "lyra",
+            ExperimentConfig(
+                n_nodes=n,
+                seed=seed,
+                jitter=jitter,
+                batch_size=10,
+                clients_per_node=1,
+                client_window=5,
+                duration_us=6 * SECONDS,
+                warmup_rounds=3,
+                warmup_spacing_us=150 * MILLISECONDS,
+            ),
         )
-        res = build_lyra_cluster(cfg).run()
+        for jitter in jitters
+    ]
+    rows: List[Dict] = []
+    for jitter, res in zip(jitters, _sweep(cells)):
         total = res.accepted_instances + res.rejected_instances
         rows.append(
             {

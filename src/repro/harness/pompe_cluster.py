@@ -92,6 +92,18 @@ class PompeCluster:
                         start_at_us=config.client_start_us(),
                     )
                 )
+        # Light-load latency probes (Fig. 2 rig), mirroring the Lyra cluster.
+        for home in range(min(config.probe_clients, n)):
+            cpid = self.topology.place(self.topology.region_of(home))
+            self.clients.append(
+                ClosedLoopClient(
+                    cpid,
+                    self.sim,
+                    home,
+                    window=config.probe_window,
+                    start_at_us=config.client_start_us(),
+                )
+            )
 
         latency = GeoLatencyModel(
             self.topology.placement, jitter=config.jitter, rng=self.rng
@@ -178,7 +190,20 @@ class PompeCluster:
 def build_pompe_cluster(
     config: ExperimentConfig, *, node_classes=None, node_kwargs=None
 ) -> PompeCluster:
-    return PompeCluster(config, node_classes=node_classes, node_kwargs=node_kwargs)
+    """Deprecated: use ``build_cluster(config, protocol="pompe")``."""
+    import warnings
+
+    warnings.warn(
+        "build_pompe_cluster is deprecated; use "
+        "repro.harness.build_cluster(config, protocol='pompe')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.harness.factory import build_cluster
+
+    return build_cluster(
+        config, protocol="pompe", node_classes=node_classes, node_kwargs=node_kwargs
+    )
 
 
 __all__ = ["PompeCluster", "build_pompe_cluster"]

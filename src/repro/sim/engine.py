@@ -1,10 +1,17 @@
 """Core discrete-event simulator.
 
-The simulator keeps a binary heap of :class:`Event` records ordered by
-``(time, priority, sequence)``.  The ``sequence`` component is a global
-insertion counter which guarantees a total, deterministic order even when
-many events share a timestamp — essential for reproducible distributed
-protocol runs.
+The simulator keeps a two-level queue: a binary heap of *distinct
+timestamps*, each mapping to a bucket of :class:`Event` records ordered by
+``(priority, sequence)``.  The ``sequence`` component is a global insertion
+counter which guarantees a total, deterministic order even when many events
+share a timestamp — essential for reproducible distributed protocol runs.
+
+The bucket layer is a same-timestamp burst fast path: protocol broadcasts
+land n-1 deliveries (and their follow-up CPU completions) on identical
+timestamps, so most ``schedule`` calls append to an existing bucket in O(1)
+instead of sifting through one global heap whose comparisons are tuple-wide.
+Only the first event of a new timestamp pays a heap push, and the heap
+holds bare integers.
 
 Time is an integer number of microseconds.  Integer time avoids the
 floating-point drift that makes long simulations diverge between platforms,
@@ -14,10 +21,11 @@ and a microsecond grain is fine enough to express both WAN latencies
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 # Convenience time units, all expressed in the simulator's integer microsecond
 # grain.  ``5 * MILLISECONDS`` reads better than ``5000``.
@@ -34,9 +42,9 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events stay in the heap (cancellation
-    is O(1)) and are skipped when popped.
+    Events compare by ``(time, priority, seq)`` so the queue pops them in
+    deterministic order.  ``cancelled`` events stay in their bucket
+    (cancellation is O(1)) and are skipped when popped.
     """
 
     time: int
@@ -54,7 +62,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: list[Event] = []
+        #: Min-heap of the distinct timestamps present in ``_buckets``.
+        self._times: List[int] = []
+        #: timestamp -> events at that time, kept sorted by (priority, seq).
+        self._buckets: Dict[int, List[Event]] = {}
+        #: Cursor into the bucket currently being drained (consumed prefix).
+        self._bucket_pos: Dict[int, int] = {}
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
@@ -80,8 +93,11 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled)."""
-        return len(self._queue)
+        """Number of events still queued (including cancelled)."""
+        return sum(
+            len(bucket) - self._bucket_pos.get(t, 0)
+            for t, bucket in self._buckets.items()
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -100,8 +116,18 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + int(delay), priority, next(self._counter), callback)
-        heapq.heappush(self._queue, event)
+        when = self._now + int(delay)
+        event = Event(when, priority, next(self._counter), callback)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            heapq.heappush(self._times, when)
+        elif priority >= bucket[-1].priority:
+            # Fast path: seq is globally monotonic, so an appended event
+            # with priority >= the tail keeps the bucket sorted.
+            bucket.append(event)
+        else:
+            bisect.insort(bucket, event, lo=self._bucket_pos.get(when, 0))
         return event
 
     def schedule_at(
@@ -121,19 +147,35 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_event(self) -> Optional[Event]:
+        """Peek the next live event, discarding drained buckets and
+        cancelled bucket heads along the way."""
+        while self._times:
+            t = self._times[0]
+            bucket = self._buckets[t]
+            pos = self._bucket_pos.get(t, 0)
+            while pos < len(bucket) and bucket[pos].cancelled:
+                pos += 1
+            if pos < len(bucket):
+                self._bucket_pos[t] = pos
+                return bucket[pos]
+            heapq.heappop(self._times)
+            del self._buckets[t]
+            self._bucket_pos.pop(t, None)
+        return None
+
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:  # pragma: no cover - defensive
-                raise SimulationError("event heap yielded an event in the past")
-            self._now = event.time
-            self._processed += 1
-            event.callback()
-            return True
-        return False
+        event = self._next_event()
+        if event is None:
+            return False
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue yielded an event in the past")
+        self._bucket_pos[event.time] = self._bucket_pos.get(event.time, 0) + 1
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue empties, ``until`` passes, or
@@ -149,21 +191,19 @@ class Simulator:
         self._stopped = False
         executed = 0
         try:
-            while self._queue and not self._stopped:
+            while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
+                head = self._next_event()
+                if head is None:
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
                 if until is not None and head.time > until:
                     self._now = until
                     break
                 if self.step():
                     executed += 1
-            else:
-                if until is not None and self._now < until and not self._stopped:
-                    self._now = until
         finally:
             self._running = False
         return executed

@@ -25,6 +25,7 @@ MODULES = [
     "repro.crypto.feldman",
     "repro.crypto.field",
     "repro.crypto.hashing",
+    "repro.crypto.memo",
     "repro.crypto.merkle",
     "repro.crypto.polynomial",
     "repro.crypto.shamir",
@@ -71,8 +72,10 @@ MODULES = [
     "repro.harness.cluster",
     "repro.harness.config",
     "repro.harness.experiments",
+    "repro.harness.factory",
     "repro.harness.pompe_cluster",
     "repro.harness.rounds",
+    "repro.harness.sweep",
 ]
 
 
