@@ -16,6 +16,7 @@ Usage::
     python -m repro all             # everything above (quick mode)
 
     python -m repro run --protocol pompe --n 7          # one cluster
+    python -m repro chaos --loss 0.15 --crash 2:2000:3000  # fault schedule
     python -m repro sweep --protocol lyra,pompe \\
         --n 4 7 10 --seeds 1 2 3 --workers 4 \\
         --cache-dir results/sweep-cache                  # cached grid
@@ -174,6 +175,69 @@ def cmd_run(args) -> None:
     )
 
 
+def cmd_chaos(args) -> None:
+    """Run a seeded fault schedule and print a pass/fail invariant report."""
+    from repro.harness.factory import build_cluster
+    from repro.net.faults import CrashEvent, FaultPlan, LinkFault
+    from repro.sim.engine import MILLISECONDS
+
+    crashes = []
+    for spec in args.crash or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"bad --crash spec {spec!r}; expected pid:crash_ms[:recover_ms]"
+            )
+        pid, crash_ms = int(parts[0]), int(parts[1])
+        recover_ms = int(parts[2]) if len(parts) == 3 else None
+        crashes.append(
+            CrashEvent(
+                pid=pid,
+                crash_at_us=crash_ms * MILLISECONDS,
+                recover_at_us=(
+                    recover_ms * MILLISECONDS if recover_ms is not None else None
+                ),
+            )
+        )
+    plan = FaultPlan(
+        links=(
+            LinkFault(
+                drop_rate=args.loss,
+                duplicate_rate=args.dup,
+                reorder_rate=args.reorder,
+                corrupt_rate=args.corrupt,
+            ),
+        ),
+        crashes=tuple(crashes),
+    )
+    config = _config_from_args(args, args.n, args.seed)
+    config.fault_plan = plan
+    config.reliable_channels = True
+    cluster = build_cluster(config, protocol="lyra")
+    result = cluster.run()
+
+    print(f"## CHAOS — n={args.n} seed={args.seed}")
+    print(
+        f"fault plan: loss={args.loss} dup={args.dup} reorder={args.reorder} "
+        f"corrupt={args.corrupt} crashes={len(crashes)}"
+    )
+    print()
+    print("fault stats:")
+    for key in sorted(result.fault_stats):
+        print(f"  {key:<20} {result.fault_stats[key]}")
+    print()
+    print("committed log lengths:")
+    for node in cluster.nodes:
+        marker = f" (recovered x{node.recoveries})" if node.recoveries else ""
+        print(f"  pid {node.pid}: {len(node.output_sequence())}{marker}")
+    print()
+    print(cluster.watchdog.report.render())
+    if result.safety_violation is not None:
+        print(f"end-of-run safety violation: {result.safety_violation}")
+    if result.safety_violation is not None or result.invariant_violations:
+        raise SystemExit(1)
+
+
 def cmd_sweep(args) -> None:
     """Fan a (protocol, n, seed) grid across workers with result caching."""
     from repro.harness.sweep import grid_cells, run_sweep
@@ -291,6 +355,32 @@ def main(argv=None) -> int:
     )
     _add_config_flags(psweep)
     psweep.set_defaults(fn=cmd_sweep)
+
+    pchaos = sub.add_parser(
+        "chaos", help="run a seeded fault schedule and print an invariant report"
+    )
+    pchaos.add_argument("--n", type=int, default=4, help="cluster size")
+    pchaos.add_argument("--seed", type=int, default=1)
+    pchaos.add_argument(
+        "--loss", type=float, default=0.1, help="per-link drop probability"
+    )
+    pchaos.add_argument(
+        "--dup", type=float, default=0.02, help="per-link duplication probability"
+    )
+    pchaos.add_argument(
+        "--reorder", type=float, default=0.02, help="per-link reordering probability"
+    )
+    pchaos.add_argument(
+        "--corrupt", type=float, default=0.01, help="per-link corruption probability"
+    )
+    pchaos.add_argument(
+        "--crash",
+        action="append",
+        metavar="PID:CRASH_MS[:RECOVER_MS]",
+        help="schedule a crash (repeatable); omit RECOVER_MS for crash-stop",
+    )
+    _add_config_flags(pchaos)
+    pchaos.set_defaults(fn=cmd_chaos)
 
     sub.add_parser("all").set_defaults(fn=cmd_all)
     args = parser.parse_args(argv)

@@ -117,6 +117,11 @@ class CommitState:
         self.output_log: List[AcceptedEntry] = []
         self._executed_upto: int = 0
 
+        # Crash recovery: while catching up from peers the commit rule is
+        # suspended so gap-filling adoptions cannot interleave with new
+        # out-of-order local commits.
+        self.catching_up = False
+
         # Statistics for experiments.
         self.rejected_count = 0
         self.accepted_count = 0
@@ -280,6 +285,10 @@ class CommitState:
     # try-commit (lines 89-95)
     # ------------------------------------------------------------------
     def _try_commit(self) -> None:
+        if self.catching_up:
+            # Suspended during recovery: adopting peers' log entries and
+            # committing new ones concurrently could append out of order.
+            return
         # wait-pending: never commit past a still-running local instance
         # whose requested sequence number is in the committed prefix.
         bound = self.committed
@@ -369,6 +378,97 @@ class CommitState:
         return [(e.seq, e.cipher_id) for e in self.output_log]
 
     # ------------------------------------------------------------------
+    # Crash recovery: snapshot / restore / catch-up (state transfer)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "CommitSnapshot":
+        """The durable slice of this state: the committed log and its
+        reveal material.  Everything else (pending instances, peer
+        reports, the accepted set) is volatile and lost in a crash."""
+        committed = self.committed_ids
+        return CommitSnapshot(
+            output_log=tuple(self.output_log),
+            committed=self.committed,
+            executed_upto=self._executed_upto,
+            ciphers={i: c for i, c in self.ciphers.items() if i in committed},
+            plaintexts={i: p for i, p in self._plaintexts.items() if i in committed},
+        )
+
+    def restore(self, snap: "CommitSnapshot") -> None:
+        """Reset to the durable snapshot, wiping all volatile state."""
+        self.pending.clear()
+        self.min_pending = NO_PENDING
+        self.accepted.clear()
+        self.locked_reports.clear()
+        self.pending_reports.clear()
+        self.locked = 0
+        self.stable = 0
+        self._dshares.clear()
+        self._rate_tokens.clear()
+        self._rate_last_us.clear()
+        self.output_log = list(snap.output_log)
+        self.committed = snap.committed
+        self._executed_upto = snap.executed_upto
+        self.ciphers = dict(snap.ciphers)
+        self._plaintexts = dict(snap.plaintexts)
+        self.committed_ids = {e.instance for e in self.output_log}
+        self._accepted_ever = set(self.committed_ids)
+
+    def begin_catchup(self) -> None:
+        self.catching_up = True
+
+    def end_catchup(self) -> None:
+        self.catching_up = False
+        self._try_commit()
+        self._drain_executions()
+
+    def adopt_entry(
+        self,
+        entry: AcceptedEntry,
+        cipher: Any = None,
+        plaintext: Optional[bytes] = None,
+    ) -> bool:
+        """Append a peer-supplied committed-log entry during catch-up.
+
+        The caller is responsible for ordering (entries must arrive in log
+        order) and for quorum-validating the entry first.  Returns False
+        when the instance is already in our committed prefix.
+        """
+        if entry.instance in self.committed_ids:
+            return False
+        self.committed_ids.add(entry.instance)
+        self._accepted_ever.add(entry.instance)
+        self.accepted.pop(entry.instance, None)
+        if self.pending.pop(entry.instance, None) is not None:
+            self._recompute_min_pending()
+        self.output_log.append(entry)
+        if entry.seq > self.committed:
+            self.committed = entry.seq
+        if cipher is not None and entry.instance not in self.ciphers:
+            self.ciphers[entry.instance] = cipher
+        if plaintext is not None:
+            self._plaintexts.setdefault(entry.instance, plaintext)
+        self._drain_executions()
+        return True
+
+    def install_plaintext(self, iid: InstanceId, plaintext: bytes) -> None:
+        """Accept a quorum-validated plaintext for a committed instance."""
+        if iid not in self.committed_ids or iid in self._plaintexts:
+            return
+        self._plaintexts[iid] = plaintext
+        self._drain_executions()
+
+    def catchup_items(
+        self, have: int, limit: int
+    ) -> Tuple[int, Tuple[Tuple[AcceptedEntry, Any, Optional[bytes]], ...]]:
+        """Our committed-log suffix from position ``have``, with reveal
+        material, for a recovering peer: ``(total_log_length, items)``."""
+        items = tuple(
+            (entry, self.ciphers.get(entry.instance), self._plaintexts.get(entry.instance))
+            for entry in self.output_log[have : have + limit]
+        )
+        return len(self.output_log), items
+
+    # ------------------------------------------------------------------
     # Prefix summaries ("hash trees are used in lieu of older prefixes to
     # reduce message size", §V-C): a 32-byte root stands in for the whole
     # committed prefix, and membership proofs let peers audit that a
@@ -396,8 +496,21 @@ class CommitState:
         return None
 
 
+@dataclass(frozen=True)
+class CommitSnapshot:
+    """What survives a crash: the fsynced committed log plus the reveal
+    material needed to finish executing it."""
+
+    output_log: Tuple[AcceptedEntry, ...]
+    committed: int
+    executed_upto: int
+    ciphers: Dict[InstanceId, Any]
+    plaintexts: Dict[InstanceId, bytes]
+
+
 __all__ = [
     "CommitState",
+    "CommitSnapshot",
     "CommitConfig",
     "NO_PENDING",
     "STATUS_KIND",

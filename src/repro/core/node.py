@@ -32,6 +32,7 @@ from repro.core.batching import (
 from repro.core.clocks import OrderingClock, PerceivedSequence
 from repro.core.commit import (
     CommitConfig,
+    CommitSnapshot,
     CommitState,
     DSHARE_KIND,
     STATUS_KIND,
@@ -61,6 +62,11 @@ PROBE_KIND = "lyra.probe"
 PROBE_ACK_KIND = "lyra.probe_ack"
 CLIENT_TX_KIND = "client.tx"
 CLIENT_REPLY_KIND = "client.reply"
+CATCHUP_REQ_KIND = "lyra.catchup_req"
+CATCHUP_RSP_KIND = "lyra.catchup_rsp"
+
+#: Cap on committed-log entries shipped per catch-up response.
+CATCHUP_CHUNK = 512
 
 
 @dataclass
@@ -158,6 +164,14 @@ class LyraNode(SimProcess):
         # messages for them are ignored.
         self._finished: Set[InstanceId] = set()
         self._started = False
+        # Crash recovery: the durable snapshot taken at crash time, and the
+        # catch-up vote state ({log position -> {entry -> sender set}}).
+        self._durable_snapshot: Optional[CommitSnapshot] = None
+        self._catchup_votes: Dict[int, Dict[AcceptedEntry, Set[int]]] = {}
+        self._catchup_material: Dict[Tuple[int, AcceptedEntry], Tuple[Any, Optional[bytes]]] = {}
+        self._catchup_pt_votes: Dict[Tuple[int, AcceptedEntry, bytes], Set[int]] = {}
+        self._catchup_totals: Dict[int, int] = {}
+        self.recoveries = 0
         #: Optional hook: called as (entry, Batch) for every executed batch.
         self.on_executed: Optional[Callable[[AcceptedEntry, Batch], None]] = None
         #: Optional protocol tracer: (kind, iid, **detail) -> None
@@ -282,6 +296,10 @@ class LyraNode(SimProcess):
             return self.costs.threshold_verify_us
         if kind == DSHARE_KIND:
             return 2 * max(1, len(message.payload.get("items", ())))
+        if kind == CATCHUP_REQ_KIND:
+            return 2
+        if kind == CATCHUP_RSP_KIND:
+            return 2 * max(1, len(message.payload.get("items", ())))
         return self._RECEIVE_COSTS.get(kind, 2)
 
     def deliver(self, message: Message, sender: int) -> None:
@@ -293,7 +311,16 @@ class LyraNode(SimProcess):
         if done_at <= self.sim.now:
             self._process(message, sender)
         else:
-            self.sim.schedule_at(done_at, lambda: self._process(message, sender))
+            epoch = self.incarnation
+
+            def _run() -> None:
+                # A crash between acquire and completion loses the work;
+                # it must not leak into a recovered incarnation either.
+                if self.crashed or self.incarnation != epoch:
+                    return
+                self._process(message, sender)
+
+            self.sim.schedule_at(done_at, _run)
 
     def _process(self, message: Message, sender: int) -> None:
         if self.crashed:
@@ -315,6 +342,10 @@ class LyraNode(SimProcess):
             self._on_client_tx(payload, sender)
         elif kind == DSHARE_KIND:
             self._on_dshare(payload, sender)
+        elif kind == CATCHUP_REQ_KIND:
+            self._on_catchup_req(payload, sender)
+        elif kind == CATCHUP_RSP_KIND:
+            self._on_catchup_rsp(payload, sender)
         elif kind in (
             INIT_KIND,
             VOTE1_KIND,
@@ -566,6 +597,164 @@ class LyraNode(SimProcess):
             self.on_executed(entry, batch)
 
     # ------------------------------------------------------------------
+    # Crash–recovery with state transfer
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop.  The committed log (and its reveal material) is
+        modelled as fsynced before every output, so it survives; all other
+        protocol state is volatile and dies with the process."""
+        if self.commit is not None:
+            self._durable_snapshot = self.commit.snapshot()
+        super().crash()
+
+    def recover(self) -> None:
+        """Come back as a fresh incarnation: restore the durable snapshot,
+        wipe volatile state, and re-derive the committed prefix from peers
+        before resuming normal commit processing."""
+        if not self.crashed:
+            return
+        super().recover()
+        self.recoveries += 1
+        # Volatile protocol state is gone.
+        for instance in self._instances.values():
+            instance.close()
+        self._instances.clear()
+        self._awaiting_message.clear()
+        self._s_ref.clear()
+        self._proposed_at.clear()
+        self._preds.clear()
+        self._own_batches.clear()
+        self._tx_origin.clear()
+        self.mempool = Mempool(self.config.batch_size)
+        # The perceived-sequence cache is volatile too.  Keeping it would
+        # let retransmitted pre-crash INITs replay with their old (cached)
+        # observation times, pass Equation 1, and wedge ``min_pending`` on
+        # instances the rest of the cluster finished long ago.
+        self.perceived = PerceivedSequence(self.clock)
+        if self.commit is None:
+            return
+        self.commit.perceived = self.perceived
+        if self._durable_snapshot is not None:
+            self.commit.restore(self._durable_snapshot)
+        self._trace("recovered", None, log_len=len(self.commit.output_log))
+        # Re-arm the periodic machinery the crash cancelled.
+        self.timers.set(
+            "status", self.config.status_interval_us, self._status_tick
+        )
+        self.timers.set(
+            "batch-flush", self.config.batch_timeout_us, self._batch_flush_tick
+        )
+        if self.config.probe_refresh_us > 0:
+            self.timers.set(
+                "probe-refresh", self.config.probe_refresh_us, self._probe_refresh
+            )
+        self._send_probe()  # distance estimates are stale
+        # State transfer: suspend the commit rule and pull the committed
+        # prefix from peers until a quorum confirms we have caught up.
+        self._catchup_votes.clear()
+        self._catchup_material.clear()
+        self._catchup_pt_votes.clear()
+        self._catchup_totals.clear()
+        self.commit.begin_catchup()
+        self._request_catchup()
+
+    def _request_catchup(self) -> None:
+        if self.commit is None or not self.commit.catching_up:
+            return
+        self.services.broadcast(
+            CATCHUP_REQ_KIND, {"have": len(self.commit.output_log)}, 16
+        )
+        # Keep asking until done: requests or responses may be lost.
+        self.timers.set(
+            "catchup-retry", 2 * self.config.status_interval_us, self._request_catchup
+        )
+
+    def _on_catchup_req(self, payload: dict, sender: int) -> None:
+        have = payload.get("have")
+        if not isinstance(have, int) or have < 0 or self.commit is None:
+            return
+        total, items = self.commit.catchup_items(have, CATCHUP_CHUNK)
+        self.send(
+            sender,
+            Message(
+                CATCHUP_RSP_KIND,
+                {"total": total, "have": have, "items": items},
+            ),
+        )
+
+    def _on_catchup_rsp(self, payload: dict, sender: int) -> None:
+        if self.commit is None or not self.commit.catching_up:
+            return
+        total = payload.get("total")
+        base = payload.get("have")
+        items = payload.get("items", ())
+        if not isinstance(total, int) or not isinstance(base, int):
+            return
+        self._catchup_totals[sender] = total
+        for offset, item in enumerate(items):
+            try:
+                entry, cipher, plaintext = item
+            except (TypeError, ValueError):
+                continue
+            if not isinstance(entry, AcceptedEntry):
+                continue
+            pos = base + offset
+            if pos < len(self.commit.output_log):
+                continue  # already adopted (or durably ours)
+            self._catchup_votes.setdefault(pos, {}).setdefault(entry, set()).add(sender)
+            if cipher is not None and (pos, entry) not in self._catchup_material:
+                self._catchup_material[(pos, entry)] = (cipher, None)
+            if plaintext is not None:
+                self._catchup_pt_votes.setdefault(
+                    (pos, entry, plaintext), set()
+                ).add(sender)
+        self._drain_catchup()
+
+    def _drain_catchup(self) -> None:
+        """Adopt quorum-confirmed log entries in order, then check whether
+        a quorum says we have the whole log."""
+        quorum = self.f + 1
+        adopted = True
+        while adopted:
+            adopted = False
+            pos = len(self.commit.output_log)
+            candidates = self._catchup_votes.get(pos)
+            if not candidates:
+                break
+            for entry, senders in candidates.items():
+                if len(senders) < quorum:
+                    continue
+                # f+1 distinct replicas vouch for this entry at this
+                # position, so at least one correct one does.
+                cipher, _ = self._catchup_material.get((pos, entry), (None, None))
+                plaintext = None
+                for (p, e, pt), voters in self._catchup_pt_votes.items():
+                    if p == pos and e == entry and len(voters) >= quorum:
+                        plaintext = pt
+                        break
+                self.commit.adopt_entry(entry, cipher, plaintext)
+                self._trace("catchup_adopt", entry.instance, seq=entry.seq, pos=pos)
+                del self._catchup_votes[pos]
+                adopted = True
+                break
+        caught_up = sum(
+            1
+            for total in self._catchup_totals.values()
+            if total <= len(self.commit.output_log)
+        )
+        if caught_up >= quorum:
+            self._finish_catchup()
+
+    def _finish_catchup(self) -> None:
+        self.timers.cancel("catchup-retry")
+        self._catchup_votes.clear()
+        self._catchup_material.clear()
+        self._catchup_pt_votes.clear()
+        self._catchup_totals.clear()
+        self._trace("catchup_done", None, log_len=len(self.commit.output_log))
+        self.commit.end_catchup()
+
+    # ------------------------------------------------------------------
     # Heartbeat
     # ------------------------------------------------------------------
     def _status_tick(self) -> None:
@@ -592,4 +781,6 @@ __all__ = [
     "PROBE_ACK_KIND",
     "CLIENT_TX_KIND",
     "CLIENT_REPLY_KIND",
+    "CATCHUP_REQ_KIND",
+    "CATCHUP_RSP_KIND",
 ]

@@ -21,7 +21,9 @@ from repro.crypto.cost import DEFAULT_COSTS
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import ThresholdScheme
 from repro.harness.config import ExperimentConfig
+from repro.metrics.invariants import InvariantWatchdog
 from repro.net.adversary import NullAdversary, PartialSynchronyAdversary
+from repro.net.faults import FaultInjector
 from repro.net.latency import GeoLatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
@@ -51,6 +53,11 @@ class ExperimentResult:
     messages_delivered: int = 0
     bytes_delivered: int = 0
     per_instance_profile: Dict[str, float] = field(default_factory=dict)
+    # Chaos instrumentation: the always-on watchdog's findings and the
+    # fault/transport counters of the run.
+    invariant_checks: int = 0
+    invariant_violations: List[str] = field(default_factory=list)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def avg_latency_ms(self) -> float:
@@ -184,6 +191,14 @@ class LyraCluster:
             if config.gst_us > 0
             else NullAdversary()
         )
+        # Chaos engine: link faults execute inside the network, crash
+        # events are scheduled on the replicas, and the reliable layer
+        # re-implements the §II-A channel abstraction over the lossy wire.
+        self.fault_injector: Optional[FaultInjector] = None
+        plan = config.fault_plan
+        if plan is not None and not plan.empty:
+            plan.validate_for(n, f)
+            self.fault_injector = FaultInjector(plan, self.rng)
         self.network = Network(
             self.sim,
             latency,
@@ -193,11 +208,27 @@ class LyraCluster:
                 bandwidth_enabled=config.bandwidth_enabled,
                 rate_bps=config.rate_bps,
             ),
+            faults=self.fault_injector,
         )
+        if config.reliable_channels:
+            self.network.enable_reliable()
         for node in self.nodes:
             self.network.register(node, replica=True)
         for client in self.clients:
             self.network.register(client, replica=False)
+        if plan is not None:
+            for ev in plan.crashes:
+                node = self.nodes[ev.pid]
+                self.sim.schedule_at(ev.crash_at_us, node.crash)
+                if ev.recover_at_us is not None:
+                    self.sim.schedule_at(ev.recover_at_us, node.recover)
+
+        # Always-on invariant watchdog: prefix agreement, commit
+        # regression, ordered output, and post-GST liveness.
+        liveness_from = max(adversary.gst(), config.measurement_start_us())
+        self.watchdog = InvariantWatchdog(
+            self.sim, self.nodes, f=f, gst_us=liveness_from
+        )
 
         # Execution layer + per-node execution event log (time, tx count).
         self.stores: Dict[int, KvStore] = {}
@@ -220,7 +251,9 @@ class LyraCluster:
         cfg = self.config
         for node in self.nodes:
             node.start()
+        self.watchdog.start()
         self.sim.run(until=cfg.duration_us)
+        self.watchdog.check_now()  # final end-of-run sample
 
         measure_from = cfg.measurement_start_us()
         latencies: List[int] = []
@@ -255,6 +288,19 @@ class LyraCluster:
             (node.commit.accepted_count for node in self.nodes if node.commit),
             default=0,
         )
+        result.invariant_checks = self.watchdog.report.checks_run
+        result.invariant_violations = [
+            v.render() for v in self.watchdog.report.violations
+        ]
+        stats: Dict[str, int] = {
+            "unroutable_dropped": self.network.unroutable_dropped,
+            "corrupt_dropped": self.network.corrupt_dropped,
+        }
+        if self.fault_injector is not None:
+            stats.update(self.fault_injector.stats.to_dict())
+        if self.network.reliable is not None:
+            stats.update(self.network.reliable.stats.to_dict())
+        result.fault_stats = stats
         if not skip_safety_check:
             outputs = {node.pid: node.output_sequence() for node in self.nodes}
             result.safety_violation = check_prefix_consistency(outputs)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.net.faults import FaultPlan
 from repro.net.topology import EVAL_REGIONS
 from repro.sim.engine import MILLISECONDS, SECONDS
 
@@ -54,6 +55,13 @@ class ExperimentConfig:
     #: Measurement starts after clients have ramped up.
     measure_after_us: Optional[int] = None
 
+    # Chaos engineering: an optional fault schedule (lossy links plus
+    # crash/recover events) and the reliable channel layer that lets the
+    # protocol survive it.  Plans are pure data, so sweep cells can grid
+    # over fault schedules like any other parameter.
+    fault_plan: Optional[FaultPlan] = None
+    reliable_channels: bool = False
+
     # Cost model scaling (1.0 = DESIGN.md §5 calibration).
     cpu_cost_scale: float = 1.0
 
@@ -82,6 +90,9 @@ class ExperimentConfig:
         """JSON-serialisable representation (round-trips via from_dict)."""
         data = asdict(self)
         data["regions"] = list(self.regions)
+        data["fault_plan"] = (
+            self.fault_plan.to_dict() if self.fault_plan is not None else None
+        )
         return data
 
     @classmethod
@@ -92,6 +103,11 @@ class ExperimentConfig:
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+        data = dict(data)
+        if data.get("fault_plan") is not None and not isinstance(
+            data["fault_plan"], FaultPlan
+        ):
+            data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
         return cls(**data)
 
 

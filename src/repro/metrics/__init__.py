@@ -14,6 +14,11 @@ from repro.metrics.capacity import (
     pompe_loaded_latency_us,
 )
 from repro.metrics.tracelog import TraceLog, install_lyra_tracing
+from repro.metrics.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    InvariantWatchdog,
+)
 from repro.metrics.ascii_chart import chart_fig2, chart_fig3, render_chart
 
 __all__ = [
@@ -30,6 +35,9 @@ __all__ = [
     "pompe_loaded_latency_us",
     "TraceLog",
     "install_lyra_tracing",
+    "InvariantWatchdog",
+    "InvariantReport",
+    "InvariantViolation",
     "render_chart",
     "chart_fig2",
     "chart_fig3",

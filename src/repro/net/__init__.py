@@ -21,9 +21,19 @@ from repro.net.adversary import (
     NetworkAdversary,
     NullAdversary,
     PartialSynchronyAdversary,
+    PartitionAdversary,
+    PartitionEvent,
     TargetedDelayAdversary,
 )
+from repro.net.faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkFault,
+)
 from repro.net.network import Network, NetworkConfig
+from repro.net.reliable import ReliableConfig, ReliableLayer, ReliableStats
 
 __all__ = [
     "Message",
@@ -41,7 +51,17 @@ __all__ = [
     "NetworkAdversary",
     "NullAdversary",
     "PartialSynchronyAdversary",
+    "PartitionAdversary",
+    "PartitionEvent",
     "TargetedDelayAdversary",
+    "LinkFault",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "ReliableLayer",
+    "ReliableConfig",
+    "ReliableStats",
     "Network",
     "NetworkConfig",
 ]

@@ -12,7 +12,8 @@ bound holds.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.engine import MILLISECONDS, Simulator
 from repro.sim.rng import RngRegistry
@@ -101,28 +102,89 @@ class TargetedDelayAdversary(NetworkAdversary):
         return self.delay_us if hit else 0
 
 
-class PartitionAdversary(NetworkAdversary):
-    """Splits the network into two groups until GST.
+@dataclass(frozen=True)
+class PartitionEvent:
+    """One partition episode: ``groups`` are mutually isolated from
+    ``start_us`` until ``heal_at_us``.  Pids not listed in any group form
+    an implicit remainder group (isolated from all listed groups but able
+    to talk among themselves)."""
 
-    Cross-partition messages are delayed until (just after) the healing
-    time — the strongest schedule partial synchrony allows short of
-    dropping messages (channels stay reliable: everything is delivered
+    groups: Tuple[FrozenSet[int], ...]
+    heal_at_us: int
+    start_us: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "groups", tuple(frozenset(g) for g in self.groups)
+        )
+        if len(self.groups) < 1:
+            raise ValueError("a partition event needs at least one group")
+        if self.heal_at_us <= self.start_us:
+            raise ValueError("heal_at_us must be after start_us")
+        seen: Set[int] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"pids {sorted(overlap)} appear in two groups")
+            seen |= group
+
+    def side(self, pid: int) -> int:
+        """Index of pid's group; -1 for the implicit remainder group."""
+        for idx, group in enumerate(self.groups):
+            if pid in group:
+                return idx
+        return -1
+
+    def active(self, now: int) -> bool:
+        return self.start_us <= now < self.heal_at_us
+
+
+class PartitionAdversary(NetworkAdversary):
+    """Splits the network into isolated groups until each episode heals.
+
+    Cross-partition messages are delayed until (just after) the episode's
+    healing time — the strongest schedule partial synchrony allows short
+    of dropping messages (channels stay reliable: everything is delivered
     once the partition heals).
+
+    The legacy single-split form ``PartitionAdversary(group_a, heal_at_us)``
+    still works; the general form takes ``schedule=[PartitionEvent, ...]``
+    with any number of groups per event and per-event heal times.
     """
 
-    def __init__(self, group_a: Iterable[int], heal_at_us: int) -> None:
-        self.group_a: Set[int] = set(group_a)
-        self._heal_at = int(heal_at_us)
+    def __init__(
+        self,
+        group_a: Optional[Iterable[int]] = None,
+        heal_at_us: Optional[int] = None,
+        *,
+        schedule: Optional[Sequence[PartitionEvent]] = None,
+    ) -> None:
+        if schedule is not None:
+            if group_a is not None or heal_at_us is not None:
+                raise ValueError("pass either (group_a, heal_at_us) or schedule")
+            self.schedule: Tuple[PartitionEvent, ...] = tuple(schedule)
+        else:
+            if group_a is None or heal_at_us is None:
+                raise ValueError("group_a and heal_at_us are both required")
+            self.schedule = (
+                PartitionEvent(
+                    groups=(frozenset(group_a),), heal_at_us=int(heal_at_us)
+                ),
+            )
+        # Legacy attribute, kept for callers that introspect the split.
+        self.group_a: Set[int] = set(self.schedule[0].groups[0])
 
     def gst(self) -> int:
-        return self._heal_at
+        return max(ev.heal_at_us for ev in self.schedule)
 
     def extra_delay_us(self, src: int, dst: int, size: int, now: int) -> int:
-        if now >= self._heal_at:
-            return 0
-        if (src in self.group_a) == (dst in self.group_a):
-            return 0  # same side of the partition
-        return max(0, self._heal_at - now)
+        delay = 0
+        for ev in self.schedule:
+            if not ev.active(now):
+                continue
+            if ev.side(src) != ev.side(dst):
+                delay = max(delay, ev.heal_at_us - now)
+        return delay
 
 
 __all__ = [
@@ -131,4 +193,5 @@ __all__ = [
     "PartialSynchronyAdversary",
     "TargetedDelayAdversary",
     "PartitionAdversary",
+    "PartitionEvent",
 ]

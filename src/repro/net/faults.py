@@ -1,0 +1,283 @@
+"""Deterministic fault injection: lossy links and crash–recovery schedules.
+
+The paper *assumes* reliable authenticated channels and crash-free correct
+processes (§II-A).  A production SMR system has to implement both, so the
+chaos engine lets experiments drop that assumption and check the protocol's
+invariants survive:
+
+- a :class:`FaultPlan` is pure data — per-link loss/duplication/reordering/
+  corruption rates with time windows (:class:`LinkFault`) plus scheduled
+  crash/recover events (:class:`CrashEvent`) — so it can live inside an
+  :class:`~repro.harness.config.ExperimentConfig` and be swept over like
+  any other parameter;
+- a :class:`FaultInjector` executes the link faults inside the
+  :class:`~repro.net.network.Network`, drawing every coin flip from a
+  per-link seeded stream so the same seed replays the same fault sequence
+  bit-for-bit.
+
+Crash events are *interpreted by the cluster builder* (which owns the
+processes), not by the injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.message import Message
+from repro.sim.engine import MILLISECONDS
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One fault rule, applied to every transmission it matches.
+
+    ``src``/``dst`` restrict the rule to particular endpoints (``None``
+    matches every pid); ``start_us``/``end_us`` bound the active window
+    (``end_us=None`` means until the end of the run).  Rates are
+    independent per-message probabilities in ``[0, 1]``.
+    """
+
+    #: Probability the message is silently lost.
+    drop_rate: float = 0.0
+    #: Probability a second copy is delivered (with its own latency draw).
+    duplicate_rate: float = 0.0
+    #: Probability the message is held back by an extra random delay,
+    #: letting later traffic overtake it.
+    reorder_rate: float = 0.0
+    #: Maximum extra delay applied to reordered messages.
+    reorder_delay_us: int = 50 * MILLISECONDS
+    #: Probability the payload is corrupted in flight (detected by the
+    #: frame checksum and treated as loss by the reliable layer).
+    corrupt_rate: float = 0.0
+    src: Optional[Tuple[int, ...]] = None
+    dst: Optional[Tuple[int, ...]] = None
+    start_us: int = 0
+    end_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        # Normalise endpoint selectors to sorted tuples so to_dict() output
+        # (and the sweep cache content hash) is canonical.
+        for name in ("src", "dst"):
+            sel = getattr(self, name)
+            if sel is not None:
+                object.__setattr__(self, name, tuple(sorted(int(p) for p in sel)))
+
+    def matches(self, src: int, dst: int, now: int) -> bool:
+        if now < self.start_us:
+            return False
+        if self.end_us is not None and now >= self.end_us:
+            return False
+        if self.src is not None and src not in self.src:
+            return False
+        if self.dst is not None and dst not in self.dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash pid at ``crash_at_us``; recover it at ``recover_at_us``
+    (``None`` = crash-stop for the rest of the run)."""
+
+    pid: int
+    crash_at_us: int
+    recover_at_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at_us < 0:
+            raise ValueError("crash_at_us must be non-negative")
+        if self.recover_at_us is not None and self.recover_at_us <= self.crash_at_us:
+            raise ValueError("recover_at_us must be after crash_at_us")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serialisable fault schedule for one run."""
+
+    links: Tuple[LinkFault, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(
+            self,
+            "crashes",
+            tuple(sorted(self.crashes, key=lambda e: (e.crash_at_us, e.pid))),
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.links and not self.crashes
+
+    def validate_for(self, n_nodes: int, f: int) -> None:
+        """Reject schedules the model cannot honour: unknown pids, or more
+        simultaneous crashes than the resilience bound ``f`` allows."""
+        for ev in self.crashes:
+            if not 0 <= ev.pid < n_nodes:
+                raise ValueError(f"crash event targets unknown pid {ev.pid}")
+        # Count the worst-case number of simultaneously-down replicas.
+        moments = sorted(
+            {ev.crash_at_us for ev in self.crashes}
+            | {ev.recover_at_us for ev in self.crashes if ev.recover_at_us}
+        )
+        for t in moments:
+            down = sum(
+                1
+                for ev in self.crashes
+                if ev.crash_at_us <= t
+                and (ev.recover_at_us is None or t < ev.recover_at_us)
+            )
+            if down > f:
+                raise ValueError(
+                    f"{down} replicas down simultaneously at t={t}us exceeds f={f}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization — plans ride inside ExperimentConfig across process
+    # boundaries and into the sweep cache's content hash.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        def link_dict(lf: LinkFault) -> Dict[str, Any]:
+            return {
+                "drop_rate": lf.drop_rate,
+                "duplicate_rate": lf.duplicate_rate,
+                "reorder_rate": lf.reorder_rate,
+                "reorder_delay_us": lf.reorder_delay_us,
+                "corrupt_rate": lf.corrupt_rate,
+                "src": list(lf.src) if lf.src is not None else None,
+                "dst": list(lf.dst) if lf.dst is not None else None,
+                "start_us": lf.start_us,
+                "end_us": lf.end_us,
+            }
+
+        return {
+            "links": [link_dict(lf) for lf in self.links],
+            "crashes": [
+                {
+                    "pid": ev.pid,
+                    "crash_at_us": ev.crash_at_us,
+                    "recover_at_us": ev.recover_at_us,
+                }
+                for ev in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        def build(kind, raw):
+            known = {f.name for f in fields(kind)}
+            unknown = set(raw) - known
+            if unknown:
+                raise ValueError(f"unknown {kind.__name__} fields: {sorted(unknown)}")
+            fixed = dict(raw)
+            for key in ("src", "dst"):
+                if fixed.get(key) is not None and key in known:
+                    fixed[key] = tuple(fixed[key])
+            return kind(**fixed)
+
+        return cls(
+            links=tuple(build(LinkFault, raw) for raw in data.get("links", ())),
+            crashes=tuple(build(CrashEvent, raw) for raw in data.get("crashes", ())),
+        )
+
+
+@dataclass
+class FaultDecision:
+    """What the injector decided for one physical transmission."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    extra_delay_us: int = 0
+
+
+@dataclass
+class FaultStats:
+    """Counters the chaos report surfaces after a run."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    corrupt_detected: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "corrupted": self.corrupted,
+            "corrupt_detected": self.corrupt_detected,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`'s link faults deterministically.
+
+    Each (src, dst) link draws from its own named stream of the run's
+    :class:`~repro.sim.rng.RngRegistry`, so adding traffic on one link
+    never perturbs the fault sequence of another.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: RngRegistry) -> None:
+        self.plan = plan
+        self._rng = rng
+        self.stats = FaultStats()
+
+    def _stream(self, src: int, dst: int):
+        return self._rng.get("faults", f"{src}->{dst}")
+
+    def decide(self, src: int, dst: int, message: Message, now: int) -> FaultDecision:
+        decision = FaultDecision()
+        active = [lf for lf in self.plan.links if lf.matches(src, dst, now)]
+        if not active:
+            return decision
+        stream = self._stream(src, dst)
+        for lf in active:
+            if lf.drop_rate > 0.0 and stream.random() < lf.drop_rate:
+                decision.drop = True
+            if lf.duplicate_rate > 0.0 and stream.random() < lf.duplicate_rate:
+                decision.duplicate = True
+            if lf.corrupt_rate > 0.0 and stream.random() < lf.corrupt_rate:
+                decision.corrupt = True
+            if lf.reorder_rate > 0.0 and stream.random() < lf.reorder_rate:
+                decision.extra_delay_us += int(
+                    stream.integers(1, max(2, lf.reorder_delay_us + 1))
+                )
+        if decision.drop:
+            self.stats.dropped += 1
+            # A dropped message neither duplicates nor reorders.
+            decision.duplicate = decision.corrupt = False
+            decision.extra_delay_us = 0
+            return decision
+        if decision.duplicate:
+            self.stats.duplicated += 1
+        if decision.corrupt:
+            self.stats.corrupted += 1
+        if decision.extra_delay_us:
+            self.stats.reordered += 1
+        return decision
+
+    @staticmethod
+    def corrupted_copy(message: Message) -> Message:
+        """A bit-flipped copy: the checksum no longer matches, so the
+        receiving end detects the damage and treats the frame as lost."""
+        bad = message.clone()
+        bad.checksum ^= 0x1
+        return bad
+
+
+__all__ = [
+    "LinkFault",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultStats",
+    "FaultInjector",
+]

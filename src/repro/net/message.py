@@ -9,6 +9,7 @@ so callers rarely need to specify sizes by hand.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -66,14 +67,33 @@ class Message:
     payload: Any = None
     size: int = 0
     uid: int = field(default_factory=lambda: next(_msg_counter))
+    #: Frame checksum, stamped by the network at transmit time (protocol
+    #: code mutates ``size`` after construction for piggybacks, so the
+    #: checksum has to be taken when the message actually hits the wire).
+    #: 0 means "never transmitted"; a corrupting link flips bits here so
+    #: the receiver can detect the damage.
+    checksum: int = 0
 
     def __post_init__(self) -> None:
         if self.size <= 0:
             self.size = HEADER_BYTES + estimate_size(self.payload)
 
+    def expected_checksum(self) -> int:
+        """CRC over the frame header fields the simulation models."""
+        return zlib.crc32(f"{self.kind}|{self.size}".encode()) or 1
+
+    def stamp_checksum(self) -> None:
+        self.checksum = self.expected_checksum()
+
+    def verify_checksum(self) -> bool:
+        """True when the frame arrived undamaged (or was never stamped)."""
+        return self.checksum == 0 or self.checksum == self.expected_checksum()
+
     def clone(self) -> "Message":
         """A distinct message instance with the same kind/payload/size."""
-        return Message(self.kind, self.payload, self.size)
+        copy = Message(self.kind, self.payload, self.size)
+        copy.checksum = self.checksum
+        return copy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Message({self.kind!r}, size={self.size})"

@@ -1,4 +1,4 @@
-"""The simulated network: reliable authenticated channels.
+"""The simulated network: authenticated channels, lossy on demand.
 
 Delivery time of a message =
     egress serialisation (NIC queue at the sender)
@@ -6,10 +6,15 @@ Delivery time of a message =
   + adversarial delay (zero after GST)
   + ingress serialisation (NIC queue at the receiver)
 
-Channels are reliable and FIFO-per-(src, dst) in expectation but *not*
-globally ordered, matching §II-A.  Authentication is by construction: the
-receiver learns the true sender pid (processes cannot impersonate each
-other), the cryptographic layer on top adds transferable signatures.
+By default channels deliver every message (the §II-A reliable-channel
+abstraction taken as given).  With a :class:`~repro.net.faults.FaultInjector`
+attached, links drop/duplicate/reorder/corrupt per their
+:class:`~repro.net.faults.FaultPlan`; layering a
+:class:`~repro.net.reliable.ReliableLayer` on top (``enable_reliable``)
+then *implements* §II-A over the lossy wire with acks and retransmission.
+Authentication is by construction: the receiver learns the true sender pid
+(processes cannot impersonate each other), the cryptographic layer on top
+adds transferable signatures.
 """
 
 from __future__ import annotations
@@ -19,8 +24,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.net.adversary import NetworkAdversary, NullAdversary
 from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import FaultInjector
 from repro.net.latency import LatencyModel, UniformLatencyModel
 from repro.net.message import Message
+from repro.net.reliable import ACK_KIND, FRAME_KIND, ReliableConfig, ReliableLayer
 from repro.sim.engine import MILLISECONDS, Simulator
 from repro.sim.process import SimProcess
 
@@ -52,6 +59,7 @@ class Network:
         latency: Optional[LatencyModel] = None,
         adversary: Optional[NetworkAdversary] = None,
         config: Optional[NetworkConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.sim = sim
         self.latency = latency or UniformLatencyModel()
@@ -60,11 +68,20 @@ class Network:
         self.bandwidth = BandwidthModel(
             sim, rate_bps=self.config.rate_bps, enabled=self.config.bandwidth_enabled
         )
+        self.faults = faults
+        self.reliable: Optional[ReliableLayer] = None
         self._processes: Dict[int, SimProcess] = {}
         self._replicas: List[int] = []
         self._trace_hooks: List[TraceHook] = []
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        self.unroutable_dropped = 0
+        self.corrupt_dropped = 0
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> ReliableLayer:
+        """Layer ack/retransmit channels over this network's links."""
+        self.reliable = ReliableLayer(self, config)
+        return self.reliable
 
     # ------------------------------------------------------------------
     # Registration
@@ -104,9 +121,45 @@ class Network:
     # Transmission
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, message: Message) -> None:
-        """Queue ``message`` from ``src`` to ``dst``; always delivers."""
+        """Queue ``message`` from ``src`` to ``dst``.
+
+        An unregistered destination is counted as a dropped send rather
+        than raising, so traffic to deregistered targets degrades
+        gracefully instead of killing the whole simulation.
+        """
         if dst not in self._processes:
-            raise KeyError(f"unknown destination pid {dst}")
+            self.unroutable_dropped += 1
+            return
+        if self.reliable is not None:
+            self.reliable.send(src, dst, message)
+        else:
+            self._transmit(src, dst, message)
+
+    def _transmit(self, src: int, dst: int, message: Message) -> None:
+        """Put one frame on the wire: stamp its checksum, apply link
+        faults, and schedule each surviving copy's delivery."""
+        if dst not in self._processes:
+            self.unroutable_dropped += 1
+            return
+        message.stamp_checksum()
+        if self.faults is not None:
+            decision = self.faults.decide(src, dst, message, self.sim.now)
+            if decision.drop:
+                return
+            wire = message
+            if decision.corrupt:
+                wire = FaultInjector.corrupted_copy(message)
+            self._schedule_delivery(src, dst, wire, decision.extra_delay_us)
+            if decision.duplicate:
+                # The duplicate takes its own (jittered) path through the
+                # network, so it may arrive before or after the original.
+                self._schedule_delivery(src, dst, message.clone(), 0)
+        else:
+            self._schedule_delivery(src, dst, message, 0)
+
+    def _schedule_delivery(
+        self, src: int, dst: int, message: Message, extra_delay_us: int
+    ) -> None:
         departure = self.bandwidth.departure_time(src, message.size)
         propagation = self.latency.one_way_us(src, dst)
         extra = self.adversary.extra_delay_us(src, dst, message.size, self.sim.now)
@@ -117,13 +170,31 @@ class Network:
             # After GST the adversary cannot stretch delays past Δ.
             extra = min(extra, max(0, self.config.delta_us - propagation))
         ingress = self.bandwidth.ingress_delay_us(dst, message.size)
-        arrival = departure + propagation + extra + ingress
+        arrival = departure + propagation + extra + ingress + extra_delay_us
         self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
-        if process is None or process.crashed:
+        if process is None:
             return
+        if not message.verify_checksum():
+            # Damaged in flight: indistinguishable from loss at this layer.
+            self.corrupt_dropped += 1
+            if self.faults is not None:
+                self.faults.stats.corrupt_detected += 1
+            return
+        if self.reliable is not None and message.kind in (FRAME_KIND, ACK_KIND):
+            self.reliable.on_receive(src, dst, message, process)
+            return
+        if process.crashed:
+            return
+        self.deliver_local(src, dst, message, process)
+
+    def deliver_local(
+        self, src: int, dst: int, message: Message, process: SimProcess
+    ) -> None:
+        """Hand an application-level message to its destination process,
+        updating delivery counters and firing trace hooks."""
         self.messages_delivered += 1
         self.bytes_delivered += message.size
         for hook in self._trace_hooks:

@@ -38,6 +38,8 @@ class CpuModel:
         self._speed = speed
         self._free_at: int = 0
         self.busy_time: int = 0
+        self._window_mark_us: int = 0
+        self._window_busy_base: int = 0
 
     @property
     def free_at(self) -> int:
@@ -53,11 +55,30 @@ class CpuModel:
         self.busy_time += scaled
         return self._free_at
 
-    def utilisation(self, window_us: int) -> float:
-        """Fraction of the last ``window_us`` the core was busy (approx.)."""
+    def mark_window(self) -> None:
+        """Reset the measurement window for :meth:`utilisation` to now."""
+        self._window_mark_us = self._sim.now
+        self._window_busy_base = self._completed_busy()
+
+    def _completed_busy(self) -> int:
+        """Busy time actually elapsed by now (acquired work still queued
+        past ``now`` hasn't run yet and must not count)."""
+        return self.busy_time - max(0, self._free_at - self._sim.now)
+
+    def utilisation(self) -> float:
+        """Fraction of time since the last :meth:`mark_window` (or process
+        start) the core was busy."""
+        window_us = self._sim.now - self._window_mark_us
         if window_us <= 0:
             return 0.0
-        return min(1.0, self.busy_time / window_us)
+        busy = self._completed_busy() - self._window_busy_base
+        return min(1.0, max(0, busy) / window_us)
+
+    def cancel_backlog(self) -> None:
+        """Abandon queued-but-unstarted work (the owner crashed)."""
+        overshoot = max(0, self._free_at - self._sim.now)
+        self.busy_time -= overshoot
+        self._free_at = self._sim.now
 
 
 class SimProcess:
@@ -70,6 +91,9 @@ class SimProcess:
         self.timers = TimerWheel(sim)
         self.network: Optional["Network"] = None
         self.crashed = False
+        #: Bumped on every recovery; scheduled callbacks capture the value
+        #: at creation and refuse to run into a later incarnation.
+        self.incarnation = 0
         self._handlers: Dict[str, Callable[["Message", int], None]] = {}
         self.messages_received = 0
         self.messages_sent = 0
@@ -136,7 +160,17 @@ class SimProcess:
         """
         done_at = self.cpu.acquire(cost_us)
         if callback is not None:
-            self.sim.schedule_at(done_at, callback)
+            epoch = self.incarnation
+
+            def _run() -> None:
+                # Work in flight when the process crashed must not land:
+                # the core lost it, and a recovered incarnation must not
+                # see callbacks from its previous life.
+                if self.crashed or self.incarnation != epoch:
+                    return
+                callback()
+
+            self.sim.schedule_at(done_at, _run)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -145,6 +179,19 @@ class SimProcess:
         """Crash-stop the process: drop all I/O and cancel timers."""
         self.crashed = True
         self.timers.close()
+        self.cpu.cancel_backlog()
+
+    def recover(self) -> None:
+        """Bring a crashed process back as a fresh incarnation.
+
+        Re-arms the timer wheel; subclasses restore durable state and
+        re-schedule their own timers on top of this.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.incarnation += 1
+        self.timers.reopen()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(pid={self.pid})"

@@ -82,5 +82,17 @@ class TimerWheel:
             timer.cancel()
         self._closed = True
 
+    def reopen(self) -> None:
+        """Accept arming again after :meth:`close` (crash recovery).
+
+        Timers cancelled by the close stay cancelled — the recovered owner
+        must re-arm whatever it still needs.
+        """
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
 
 __all__ = ["Timer", "TimerWheel"]

@@ -1,0 +1,162 @@
+"""Unit tests for the fault-injection subsystem (FaultPlan/FaultInjector)."""
+
+import pytest
+
+from repro.net.faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+)
+from repro.net.message import Message
+from repro.sim.rng import RngRegistry
+
+
+class TestLinkFault:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            LinkFault(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(corrupt_rate=-0.1)
+
+    def test_matches_window_and_endpoints(self):
+        lf = LinkFault(drop_rate=0.5, src=(0,), dst=(1, 2), start_us=100, end_us=200)
+        assert lf.matches(0, 1, 150)
+        assert lf.matches(0, 2, 100)
+        assert not lf.matches(0, 1, 99)  # before window
+        assert not lf.matches(0, 1, 200)  # window end exclusive
+        assert not lf.matches(1, 2, 150)  # wrong src
+        assert not lf.matches(0, 3, 150)  # wrong dst
+
+    def test_wildcard_endpoints(self):
+        lf = LinkFault(drop_rate=0.5)
+        assert lf.matches(7, 9, 0)
+
+    def test_selectors_normalised(self):
+        assert LinkFault(src=(2, 0, 1)).src == (0, 1, 2)
+
+
+class TestCrashEvent:
+    def test_recover_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashEvent(pid=0, crash_at_us=100, recover_at_us=100)
+        CrashEvent(pid=0, crash_at_us=100, recover_at_us=101)
+
+    def test_crash_stop_allowed(self):
+        assert CrashEvent(pid=0, crash_at_us=5).recover_at_us is None
+
+
+class TestFaultPlan:
+    def test_crashes_sorted(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(pid=1, crash_at_us=200),
+                CrashEvent(pid=0, crash_at_us=100),
+            )
+        )
+        assert [e.pid for e in plan.crashes] == [0, 1]
+
+    def test_validate_unknown_pid(self):
+        plan = FaultPlan(crashes=(CrashEvent(pid=9, crash_at_us=1),))
+        with pytest.raises(ValueError, match="unknown pid"):
+            plan.validate_for(n_nodes=4, f=1)
+
+    def test_validate_too_many_simultaneous_crashes(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(pid=0, crash_at_us=100, recover_at_us=500),
+                CrashEvent(pid=1, crash_at_us=200, recover_at_us=600),
+            )
+        )
+        with pytest.raises(ValueError, match="exceeds f"):
+            plan.validate_for(n_nodes=4, f=1)
+
+    def test_validate_staggered_crashes_ok(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(pid=0, crash_at_us=100, recover_at_us=200),
+                CrashEvent(pid=1, crash_at_us=300, recover_at_us=400),
+            )
+        )
+        plan.validate_for(n_nodes=4, f=1)
+
+    def test_serialization_round_trip(self):
+        plan = FaultPlan(
+            links=(
+                LinkFault(drop_rate=0.1, duplicate_rate=0.05, src=(0, 2)),
+                LinkFault(corrupt_rate=0.01, start_us=500, end_us=900),
+            ),
+            crashes=(CrashEvent(pid=2, crash_at_us=100, recover_at_us=300),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({"links": [{"drop_rate": 0.1, "bogus": 1}]})
+
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(links=(LinkFault(drop_rate=0.1),)).empty
+
+
+class TestFaultInjector:
+    def _injector(self, plan, seed=11):
+        return FaultInjector(plan, RngRegistry(seed))
+
+    def test_no_matching_rule_is_clean(self):
+        inj = self._injector(FaultPlan(links=(LinkFault(drop_rate=1.0, src=(5,)),)))
+        d = inj.decide(0, 1, Message("x"), now=0)
+        assert not d.drop and not d.duplicate and not d.corrupt
+        assert d.extra_delay_us == 0
+
+    def test_certain_drop(self):
+        inj = self._injector(FaultPlan(links=(LinkFault(drop_rate=1.0),)))
+        d = inj.decide(0, 1, Message("x"), now=0)
+        assert d.drop
+        assert inj.stats.dropped == 1
+
+    def test_drop_suppresses_other_faults(self):
+        inj = self._injector(
+            FaultPlan(links=(LinkFault(drop_rate=1.0, duplicate_rate=1.0, corrupt_rate=1.0),))
+        )
+        d = inj.decide(0, 1, Message("x"), now=0)
+        assert d.drop and not d.duplicate and not d.corrupt
+        assert inj.stats.duplicated == 0
+
+    def test_deterministic_per_seed(self):
+        plan = FaultPlan(links=(LinkFault(drop_rate=0.3, duplicate_rate=0.2),))
+        a = self._injector(plan, seed=4)
+        b = self._injector(plan, seed=4)
+        msgs = [Message("x") for _ in range(50)]
+        da = [(a.decide(0, 1, m, 0).drop, a.decide(1, 0, m, 0).drop) for m in msgs]
+        db = [(b.decide(0, 1, m, 0).drop, b.decide(1, 0, m, 0).drop) for m in msgs]
+        assert da == db
+
+    def test_per_link_streams_independent(self):
+        # Traffic on one link must not perturb another link's fault draws.
+        plan = FaultPlan(links=(LinkFault(drop_rate=0.5),))
+        a = self._injector(plan, seed=4)
+        b = self._injector(plan, seed=4)
+        msg = Message("x")
+        seq_a = [a.decide(0, 1, msg, 0).drop for _ in range(20)]
+        for _ in range(100):  # extra traffic on a different link
+            b.decide(2, 3, msg, 0)
+        seq_b = [b.decide(0, 1, msg, 0).drop for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_corrupted_copy_detected(self):
+        msg = Message("x", {"a": 1})
+        msg.stamp_checksum()
+        assert msg.verify_checksum()
+        bad = FaultInjector.corrupted_copy(msg)
+        assert not bad.verify_checksum()
+        assert msg.verify_checksum()  # the original is untouched
+
+    def test_reorder_adds_bounded_delay(self):
+        plan = FaultPlan(
+            links=(LinkFault(reorder_rate=1.0, reorder_delay_us=1000),)
+        )
+        inj = self._injector(plan)
+        d = inj.decide(0, 1, Message("x"), now=0)
+        assert 1 <= d.extra_delay_us <= 1000
+        assert inj.stats.reordered == 1

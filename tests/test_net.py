@@ -238,10 +238,18 @@ class TestNetwork:
         sim.run()
         assert b.got == []
 
-    def test_unknown_destination_raises(self):
+    def test_unknown_destination_counted_as_drop(self):
+        # Sends to unregistered pids must degrade gracefully (counted,
+        # not raised): crashed or deregistered targets happen under chaos.
         sim, net, a, b = self._pair()
-        with pytest.raises(KeyError):
-            net.send(0, 99, Message("x"))
+        net.send(0, 99, Message("x"))
+        assert net.unroutable_dropped == 1
+        sim.run()
+        assert b.got == [] or all(s != 99 for _, _, s in b.got)
+        # Registered traffic still flows afterwards.
+        net.send(0, 1, Message("y"))
+        sim.run()
+        assert any(kind == "y" for _, kind, _ in b.got)
 
     def test_duplicate_registration_rejected(self):
         sim = Simulator()

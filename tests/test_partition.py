@@ -4,7 +4,7 @@ healing (the classic partial-synchrony stress test)."""
 import pytest
 
 from repro.harness import ExperimentConfig, build_lyra_cluster
-from repro.net.adversary import PartitionAdversary
+from repro.net.adversary import PartitionAdversary, PartitionEvent
 from repro.sim.engine import MILLISECONDS, SECONDS
 from repro.workload.clients import ClosedLoopClient
 
@@ -40,6 +40,128 @@ class TestAdversaryUnit:
 
     def test_gst_is_heal_time(self):
         assert PartitionAdversary({0}, 777).gst() == 777
+
+
+class TestPartitionEvent:
+    def test_validates_groups(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            PartitionEvent(groups=(), heal_at_us=100)
+        with pytest.raises(ValueError, match="two groups"):
+            PartitionEvent(
+                groups=(frozenset({0, 1}), frozenset({1, 2})), heal_at_us=100
+            )
+        with pytest.raises(ValueError, match="heal_at_us"):
+            PartitionEvent(groups=(frozenset({0}),), heal_at_us=50, start_us=50)
+
+    def test_side_and_remainder_group(self):
+        ev = PartitionEvent(
+            groups=(frozenset({0, 1}), frozenset({2})), heal_at_us=1000
+        )
+        assert ev.side(0) == 0
+        assert ev.side(2) == 1
+        assert ev.side(5) == -1  # implicit remainder group
+
+    def test_active_window(self):
+        ev = PartitionEvent(
+            groups=(frozenset({0}),), start_us=100, heal_at_us=200
+        )
+        assert not ev.active(99)
+        assert ev.active(100)
+        assert ev.active(199)
+        assert not ev.active(200)
+
+
+class TestScheduledAdversary:
+    def test_three_way_split(self):
+        adv = PartitionAdversary(
+            schedule=[
+                PartitionEvent(
+                    groups=(frozenset({0, 1}), frozenset({2, 3})),
+                    heal_at_us=1000,
+                )
+            ]
+        )
+        # 4,5 form the remainder group: isolated from both listed groups.
+        assert adv.extra_delay_us(0, 1, 10, now=0) == 0
+        assert adv.extra_delay_us(4, 5, 10, now=0) == 0
+        assert adv.extra_delay_us(0, 2, 10, now=400) == 600
+        assert adv.extra_delay_us(0, 4, 10, now=400) == 600
+        assert adv.extra_delay_us(2, 5, 10, now=999) == 1
+
+    def test_per_event_heal_times(self):
+        adv = PartitionAdversary(
+            schedule=[
+                PartitionEvent(groups=(frozenset({0}),), heal_at_us=1000),
+                PartitionEvent(
+                    groups=(frozenset({0, 1}),),
+                    start_us=2000,
+                    heal_at_us=3000,
+                ),
+            ]
+        )
+        # First episode isolates 0; second isolates {0,1}.
+        assert adv.extra_delay_us(0, 1, 10, now=500) == 500
+        assert adv.extra_delay_us(0, 1, 10, now=1500) == 0  # between episodes
+        assert adv.extra_delay_us(0, 2, 10, now=2500) == 500
+        assert adv.extra_delay_us(0, 1, 10, now=2500) == 0  # same side now
+        assert adv.gst() == 3000
+
+    def test_overlapping_events_take_max_delay(self):
+        adv = PartitionAdversary(
+            schedule=[
+                PartitionEvent(groups=(frozenset({0}),), heal_at_us=1000),
+                PartitionEvent(groups=(frozenset({0}),), heal_at_us=5000),
+            ]
+        )
+        assert adv.extra_delay_us(0, 1, 10, now=100) == 4900
+
+    def test_ctor_forms_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            PartitionAdversary(
+                {0},
+                100,
+                schedule=[
+                    PartitionEvent(groups=(frozenset({0}),), heal_at_us=100)
+                ],
+            )
+        with pytest.raises(ValueError):
+            PartitionAdversary({0})  # missing heal time
+
+    def test_legacy_group_a_attribute_preserved(self):
+        adv = PartitionAdversary({0, 1}, 500)
+        assert adv.group_a == {0, 1}
+
+
+class TestRepeatedSplitsLiveness:
+    def test_cluster_survives_two_episodes(self):
+        cfg = ExperimentConfig(
+            n_nodes=4,
+            seed=53,
+            batch_size=5,
+            clients_per_node=1,
+            client_window=3,
+            duration_us=10 * SECONDS,
+            warmup_rounds=2,
+            warmup_spacing_us=150 * MILLISECONDS,
+        )
+        cluster = build_lyra_cluster(cfg)
+        cluster.network.adversary = PartitionAdversary(
+            schedule=[
+                PartitionEvent(
+                    groups=(frozenset({0, 1}),),
+                    start_us=1 * SECONDS,
+                    heal_at_us=2 * SECONDS,
+                ),
+                PartitionEvent(
+                    groups=(frozenset({2, 3}),),
+                    start_us=3 * SECONDS,
+                    heal_at_us=4 * SECONDS,
+                ),
+            ]
+        )
+        result = cluster.run()
+        assert result.safety_violation is None
+        assert result.committed_count > 0
 
 
 class TestMinorityPartition:

@@ -95,6 +95,41 @@ class TestTimerWheel:
         assert wheel.armed("x")
 
 
+class TestTimerWheelLifecycle:
+    def test_reopen_allows_rearming(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        wheel.close()
+        assert wheel.closed
+        wheel.reopen()
+        assert not wheel.closed
+        fired = []
+        wheel.set("x", 10, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10]
+
+    def test_cancelled_timers_stay_cancelled_across_reopen(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("x", 10, lambda: fired.append("pre-close"))
+        wheel.close()  # cancels "x"
+        wheel.reopen()
+        sim.run()
+        # Reopening must not resurrect timers armed before the close.
+        assert fired == []
+        assert not wheel.armed("x")
+
+    def test_reopen_idempotent_on_open_wheel(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        wheel.set("x", 10, lambda: fired.append(1))
+        wheel.reopen()  # no-op: wheel was never closed
+        sim.run()
+        assert fired == [1]
+
+
 class TestCpuModel:
     def test_serialises_work(self):
         sim = Simulator()
@@ -138,6 +173,55 @@ class TestCpuModel:
         assert cpu.busy_time == 50
 
 
+class TestCpuUtilisationWindow:
+    def test_utilisation_over_window(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(40)
+        sim.schedule(100, lambda: None)
+        sim.run()  # now = 100, core was busy 40 of it
+        assert cpu.utilisation() == pytest.approx(0.4)
+
+    def test_mark_window_resets_measurement(self):
+        """Regression: utilisation must count only busy time inside the
+        current window, not the whole run — a core saturated early and idle
+        since must read 0 after a fresh mark."""
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(100)
+        sim.schedule(100, cpu.mark_window)
+        sim.schedule(200, lambda: None)
+        sim.run()  # busy [0,100), marked at 100, idle [100,200)
+        assert cpu.utilisation() == 0.0
+
+    def test_queued_work_not_counted_until_it_runs(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(1000)  # queued past now; none of it has run yet
+        assert cpu.utilisation() == 0.0
+        sim.schedule(500, lambda: None)
+        sim.run()  # halfway through the job
+        assert cpu.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_clamped_to_one(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, speed=1.0)
+        cpu.acquire(50)
+        sim.schedule(50, lambda: None)
+        sim.run()
+        assert cpu.utilisation() <= 1.0
+
+    def test_cancel_backlog_drops_unstarted_work(self):
+        sim = Simulator()
+        cpu = CpuModel(sim)
+        cpu.acquire(500)
+        cpu.cancel_backlog()
+        assert cpu.free_at == sim.now
+        assert cpu.busy_time == 0
+        # Later work is not delayed by the abandoned backlog.
+        assert cpu.acquire(10) == sim.now + 10
+
+
 class TestSimProcess:
     def test_charge_with_callback_runs_at_completion(self):
         sim = Simulator()
@@ -156,6 +240,71 @@ class TestSimProcess:
         sim.run()
         assert fired == []
         assert p.crashed
+
+
+class TestCrashRecoveryLifecycle:
+    def test_crash_during_in_flight_charge_suppresses_callback(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        done = []
+        p.charge(100, lambda: done.append(sim.now))
+        sim.schedule(50, p.crash)  # crash while the work is in flight
+        sim.run()
+        assert done == []
+
+    def test_recover_bumps_incarnation_and_drops_stale_callbacks(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        done = []
+        p.charge(100, lambda: done.append("stale"))
+        sim.schedule(50, p.crash)
+        sim.schedule(60, p.recover)  # back up before the charge completes
+        sim.run()
+        # The pre-crash callback belongs to incarnation 0 and must not
+        # land in incarnation 1, even though the process is up again.
+        assert done == []
+        assert p.incarnation == 1
+        assert not p.crashed
+
+    def test_recovered_process_timers_work(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        fired = []
+        sim.schedule(10, p.crash)
+
+        def bring_back():
+            p.recover()
+            p.timers.set("t", 10, lambda: fired.append(sim.now))
+
+        sim.schedule(20, bring_back)
+        sim.run()
+        assert fired == [30]
+
+    def test_timers_cancelled_by_crash_never_fire_after_recovery(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        fired = []
+        p.timers.set("t", 100, lambda: fired.append("zombie"))
+        sim.schedule(10, p.crash)
+        sim.schedule(20, p.recover)
+        sim.run()
+        assert fired == []
+
+    def test_recover_noop_when_not_crashed(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        p.recover()
+        assert p.incarnation == 0
+
+    def test_new_charges_after_recovery_complete(self):
+        sim = Simulator()
+        p = SimProcess(0, sim)
+        done = []
+        sim.schedule(10, p.crash)
+        sim.schedule(20, p.recover)
+        sim.schedule_at(30, lambda: p.charge(5, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [35]
 
 
 class TestRng:
