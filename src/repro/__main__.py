@@ -238,6 +238,51 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_bench(args) -> None:
+    """Run the fixed micro/macro perf suite and emit BENCH_<date>.json."""
+    from repro.bench import (
+        check_against_baseline,
+        default_output_path,
+        run_bench_suite,
+    )
+    from repro.bench.suite import write_report
+
+    report = run_bench_suite(
+        quick=args.quick,
+        macro_n=args.n,
+        macro_duration_ms=args.duration_ms,
+    )
+    out = args.out or default_output_path()
+    path = write_report(report, out)
+    print(f"\n## BENCH — wrote {path}")
+    headline = report["macro"][report["headline"]]
+    print(
+        f"headline: {report['headline']} "
+        f"events/s={headline['events_per_s']} "
+        f"events={headline['events']} wall_s={headline['wall_s']} "
+        f"prefix={headline['prefix_sha256'][:16]}…"
+    )
+    digest = report["caches"].get("digest", {})
+    sig = report["caches"].get("signature_verify", {})
+    print(
+        f"caches: digest hit-rate={digest.get('hit_rate', 0.0)} "
+        f"signature-verify hit-rate={sig.get('hit_rate', 0.0)}"
+    )
+    if args.check_against:
+        import json as _json
+
+        baseline = _json.loads(open(args.check_against).read())
+        failures = check_against_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            print(f"\nBENCH CHECK vs {args.check_against}: FAIL")
+            for f in failures:
+                print(f"  - {f}")
+            raise SystemExit(1)
+        print(f"\nBENCH CHECK vs {args.check_against}: PASS")
+
+
 def cmd_sweep(args) -> None:
     """Fan a (protocol, n, seed) grid across workers with result caching."""
     from repro.harness.sweep import grid_cells, run_sweep
@@ -355,6 +400,40 @@ def main(argv=None) -> int:
     )
     _add_config_flags(psweep)
     psweep.set_defaults(fn=cmd_sweep)
+
+    pbench = sub.add_parser(
+        "bench", help="run the fixed perf suite and emit BENCH_<date>.json"
+    )
+    pbench.add_argument(
+        "--quick",
+        action="store_true",
+        help="swap the n=32 headline cell for a small CI-sized one",
+    )
+    pbench.add_argument(
+        "--n", type=int, default=None, help="override headline cell size"
+    )
+    pbench.add_argument(
+        "--duration-ms",
+        type=int,
+        default=None,
+        help="override headline cell virtual duration",
+    )
+    pbench.add_argument(
+        "--out", default=None, help="output path (default: ./BENCH_<date>.json)"
+    )
+    pbench.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    pbench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed events/sec slowdown vs baseline (default 0.30)",
+    )
+    pbench.set_defaults(fn=cmd_bench)
 
     pchaos = sub.add_parser(
         "chaos", help="run a seeded fault schedule and print an invariant report"

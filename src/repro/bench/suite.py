@@ -1,0 +1,399 @@
+"""The fixed micro/macro benchmark suite behind ``python -m repro bench``.
+
+Micro benches time the hot primitives the perf layer optimised (event loop,
+digest cache, size estimation, memo-cache churn, Feldman verification,
+message checksums).  Macro cells run whole clusters through the factory —
+the good case at the paper's scale and the chaos smoke configuration — and
+record events/sec alongside a sha256 digest of every node's decided prefix.
+That digest is the bit-determinism oracle: two builds of this repo run the
+same cell to the same decided sequence or the comparison fails hard,
+independent of how fast the host is.
+
+``check_against_baseline`` compares a fresh report to a checked-in one:
+prefix mismatches and invariant violations always fail; throughput only
+fails below ``(1 - tolerance)`` of baseline, so slow CI hardware passes
+while real regressions do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Relative slowdown vs baseline events/sec that fails the comparison.
+DEFAULT_TOLERANCE = 0.30
+
+
+def default_output_path(directory: str | Path = ".") -> Path:
+    """``BENCH_<ISO date>.json`` in ``directory``."""
+    return Path(directory) / f"BENCH_{date.today().isoformat()}.json"
+
+
+# ----------------------------------------------------------------------
+# Micro benches
+# ----------------------------------------------------------------------
+def _timed(body: Callable[[], int]) -> Dict[str, Any]:
+    """Run ``body`` (returns its operation count) under a wall clock."""
+    start = time.perf_counter()
+    ops = body()
+    wall = time.perf_counter() - start
+    return {
+        "iterations": ops,
+        "wall_s": round(wall, 6),
+        "ops_per_s": round(ops / wall, 1) if wall > 0 else 0.0,
+    }
+
+
+def _bench_event_loop() -> int:
+    """Self-rescheduling timer chains: schedule + heap + bucket dispatch."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    horizon = 1_000_000  # 1 virtual second
+
+    def make_chain(period: int, priority: int):
+        def tick() -> None:
+            if sim.now + period <= horizon:
+                sim.schedule(period, tick, priority=priority)
+
+        return tick
+
+    # Mixed periods/priorities force both the append fast path and the
+    # insort slow path, like protocol timers + message deliveries do.
+    for i, period in enumerate((7, 11, 13, 17, 19, 23, 29, 31)):
+        sim.schedule(period, make_chain(period, priority=i % 3))
+    return sim.run(until=horizon)
+
+
+def _bench_digest_cache() -> int:
+    """Repeated hashing of one immutable object: all hits after the first."""
+    from repro.core.types import Batch, Transaction
+    from repro.crypto.hashing import digest_of
+
+    batch = Batch(
+        proposer=1,
+        batch_no=7,
+        txs=tuple(Transaction(client_id=9, nonce=i) for i in range(10)),
+    )
+    n = 50_000
+    for _ in range(n):
+        digest_of(batch)
+    return n
+
+
+def _bench_estimate_size() -> int:
+    """Size estimation over a nested protocol-shaped payload."""
+    from repro.core.types import Batch, InstanceId, Transaction
+    from repro.net.message import estimate_size
+
+    payload = {
+        "instance": InstanceId(3, 12),
+        "batch": Batch(
+            proposer=3,
+            batch_no=12,
+            txs=tuple(Transaction(client_id=4, nonce=i) for i in range(8)),
+        ),
+        "shares": [(i, b"\x00" * 17) for i in range(4)],
+    }
+    n = 20_000
+    for _ in range(n):
+        estimate_size(payload)
+    return n
+
+
+def _bench_memo_cache_churn() -> int:
+    """Insert-heavy workload at the capacity boundary: batch eviction."""
+    from repro.crypto.memo import MemoCache
+
+    cache = MemoCache(capacity=1024)
+    n = 100_000
+    for i in range(n):
+        key = i % 4096  # 4x capacity: constant eviction pressure
+        if cache.get(key) is None:
+            cache.put(key, i)
+    return n
+
+
+def _bench_feldman_verify() -> int:
+    """Cached share verification — one cold check then memoized verdicts."""
+    import numpy as np
+
+    from repro.crypto.feldman import FeldmanVSS
+
+    vss = FeldmanVSS()
+    rng = np.random.default_rng(1)
+    shares, commitment = vss.deal(12345, threshold=3, n_shares=4, rng=rng)
+    n = 20_000
+    for i in range(n):
+        vss.verify_share(shares[i % len(shares)], commitment)
+    return n
+
+
+def _bench_message_checksum() -> int:
+    """Frame integrity: stamp once, verify many (the broadcast pattern)."""
+    from repro.net.message import Message
+
+    msg = Message("bench", payload={"seq": 1, "blob": b"\x00" * 64})
+    msg.stamp_checksum()
+    n = 100_000
+    for _ in range(n):
+        msg.verify_checksum()
+    return n
+
+
+_MICRO_BENCHES: Dict[str, Callable[[], int]] = {
+    "event_loop": _bench_event_loop,
+    "digest_cache_hit": _bench_digest_cache,
+    "estimate_size_nested": _bench_estimate_size,
+    "memo_cache_churn": _bench_memo_cache_churn,
+    "feldman_verify_cached": _bench_feldman_verify,
+    "message_checksum_verify": _bench_message_checksum,
+}
+
+
+# ----------------------------------------------------------------------
+# Macro cells
+# ----------------------------------------------------------------------
+def prefix_digest(cluster) -> str:
+    """sha256 over every node's decided prefix, in pid order.
+
+    This is the suite's bit-determinism oracle: any reordering, loss, or
+    extra decision anywhere in the cluster changes the digest.
+    """
+    h = hashlib.sha256()
+    for node in cluster.nodes:
+        for seq, cipher_id in node.output_sequence():
+            h.update(seq.to_bytes(8, "big", signed=True))
+            h.update(cipher_id)
+        h.update(b"|")
+    return h.hexdigest()
+
+
+def _goodcase_config(n: int, duration_ms: int):
+    from repro.harness.config import ExperimentConfig
+    from repro.sim.engine import MILLISECONDS
+
+    return ExperimentConfig(
+        n_nodes=n,
+        seed=1,
+        batch_size=10,
+        clients_per_node=1,
+        client_window=5,
+        duration_us=duration_ms * MILLISECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+
+
+def _chaos_config():
+    """The chaos smoke cell: lossy links plus a crash/recover, over
+    reliable channels — the configuration CI's chaos job exercises."""
+    from repro.harness.config import ExperimentConfig
+    from repro.net.faults import CrashEvent, FaultPlan, LinkFault
+    from repro.sim.engine import MILLISECONDS
+
+    plan = FaultPlan(
+        links=(LinkFault(drop_rate=0.15, duplicate_rate=0.05, corrupt_rate=0.02),),
+        crashes=(
+            CrashEvent(
+                pid=2,
+                crash_at_us=2000 * MILLISECONDS,
+                recover_at_us=3000 * MILLISECONDS,
+            ),
+        ),
+    )
+    return ExperimentConfig(
+        n_nodes=4,
+        seed=1,
+        batch_size=8,
+        clients_per_node=1,
+        client_window=4,
+        duration_us=5000 * MILLISECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+        fault_plan=plan,
+        reliable_channels=True,
+    )
+
+
+def _cache_snapshot(cluster) -> Dict[str, Dict[str, Any]]:
+    """Hit/miss counters from every cache layer the run exercised."""
+    from repro.crypto import feldman, hashing
+
+    caches: Dict[str, Dict[str, Any]] = {
+        "digest": hashing.digest_cache_stats(),
+        "feldman_verify": feldman.verify_cache_stats(),
+    }
+    registry = getattr(cluster, "registry", None)
+    if registry is not None and hasattr(registry, "verify_cache_stats"):
+        caches["signature_verify"] = registry.verify_cache_stats()
+    threshold = getattr(cluster, "threshold", None)
+    if threshold is not None and hasattr(threshold, "verify_cache_stats"):
+        caches["threshold_verify"] = threshold.verify_cache_stats()
+    obf = getattr(cluster, "obf", None)
+    if obf is not None and hasattr(obf, "decrypt_cache_stats"):
+        caches["vss_decrypt"] = obf.decrypt_cache_stats()
+    return caches
+
+
+def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, Any]:
+    from repro.harness.factory import build_cluster
+
+    cluster = build_cluster(config, protocol=protocol)
+    start = time.perf_counter()
+    result = cluster.run()
+    wall = time.perf_counter() - start
+    events = result.events_processed
+    return {
+        "n": config.n_nodes,
+        "seed": config.seed,
+        "duration_ms": config.duration_us // 1000,
+        "events": events,
+        "wall_s": round(wall, 3),
+        "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+        "committed": result.committed_count,
+        "executed_total": result.executed_total,
+        "throughput_tps": round(result.throughput_tps, 1),
+        "avg_latency_ms": round(result.avg_latency_ms, 2),
+        "p99_latency_ms": round(result.p99_latency_us / 1000.0, 2),
+        "messages_delivered": result.messages_delivered,
+        "safety_violation": result.safety_violation,
+        "invariant_violations": list(result.invariant_violations),
+        "prefix_sha256": prefix_digest(cluster),
+        "caches": _cache_snapshot(cluster),
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_bench_suite(
+    *,
+    quick: bool = False,
+    macro_n: Optional[int] = None,
+    macro_duration_ms: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = print,
+) -> Dict[str, Any]:
+    """Run the full suite and return the report dict.
+
+    ``quick`` swaps the n=32 headline cell for a small one (CI smoke);
+    ``macro_n``/``macro_duration_ms`` override the headline cell's shape
+    (the prefix digest is then only comparable to baselines with the same
+    shape — ``check_against_baseline`` checks that before comparing).
+    """
+    say = progress or (lambda _msg: None)
+    suite_start = time.perf_counter()
+
+    micro: Dict[str, Dict[str, Any]] = {}
+    for name, body in _MICRO_BENCHES.items():
+        say(f"micro: {name} ...")
+        micro[name] = _timed(body)
+
+    macro: Dict[str, Dict[str, Any]] = {}
+    if quick:
+        headline = "goodcase_n4"
+        cfg = _goodcase_config(macro_n or 4, macro_duration_ms or 1500)
+    else:
+        headline = "goodcase_n32"
+        cfg = _goodcase_config(macro_n or 32, macro_duration_ms or 3000)
+    say(f"macro: {headline} (n={cfg.n_nodes}, {cfg.duration_us // 1000} ms) ...")
+    macro[headline] = _run_macro_cell(headline, cfg)
+    say(f"macro: chaos_smoke ...")
+    macro["chaos_smoke"] = _run_macro_cell("chaos_smoke", _chaos_config())
+
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated": date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick": quick,
+        "headline": headline,
+        "suite_wall_s": round(time.perf_counter() - suite_start, 3),
+        "micro": micro,
+        "macro": macro,
+        "caches": macro[headline]["caches"],
+    }
+    return report
+
+
+def write_report(report: Dict[str, Any], out_path: str | Path) -> Path:
+    path = Path(out_path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+def _cell_shape(cell: Dict[str, Any]) -> tuple:
+    return (cell.get("n"), cell.get("seed"), cell.get("duration_ms"))
+
+
+def check_against_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Return a list of failure strings (empty means the report passes).
+
+    Hard failures (hardware-independent): a macro cell's decided-prefix
+    digest differs from baseline for the same cell shape, any invariant or
+    safety violation.  Soft failure: macro events/sec below
+    ``baseline * (1 - tolerance)``.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be in [0, 1)")
+    failures: List[str] = []
+    base_macro = baseline.get("macro", {})
+    for name, cell in current.get("macro", {}).items():
+        if cell.get("safety_violation"):
+            failures.append(f"{name}: safety violation: {cell['safety_violation']}")
+        if cell.get("invariant_violations"):
+            failures.append(
+                f"{name}: {len(cell['invariant_violations'])} invariant "
+                f"violation(s): {cell['invariant_violations'][0]}"
+            )
+        base = base_macro.get(name)
+        if base is None:
+            continue
+        if _cell_shape(base) != _cell_shape(cell):
+            failures.append(
+                f"{name}: cell shape {_cell_shape(cell)} does not match "
+                f"baseline shape {_cell_shape(base)}; not comparable"
+            )
+            continue
+        if base.get("prefix_sha256") and cell.get("prefix_sha256") != base["prefix_sha256"]:
+            failures.append(
+                f"{name}: decided-prefix digest {cell.get('prefix_sha256')} "
+                f"!= baseline {base['prefix_sha256']} (determinism regression)"
+            )
+        base_eps = base.get("events_per_s", 0.0)
+        if base_eps:
+            floor = base_eps * (1.0 - tolerance)
+            if cell.get("events_per_s", 0.0) < floor:
+                failures.append(
+                    f"{name}: {cell.get('events_per_s')} events/s is below "
+                    f"{floor:.1f} ({(1 - tolerance) * 100:.0f}% of baseline "
+                    f"{base_eps})"
+                )
+    return failures
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "run_bench_suite",
+    "write_report",
+    "check_against_baseline",
+    "default_output_path",
+    "prefix_digest",
+]

@@ -26,6 +26,7 @@ window — also lives here because it owns the pending set ``P``.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -102,10 +103,20 @@ class CommitState:
         self._accepted_ever: Set[InstanceId] = set()
         self.locked_reports: Dict[int, int] = {}  # R
         self.pending_reports: Dict[int, int] = {}  # S
+        # Ascending sorted mirrors of the report values: selecting the
+        # min-of-top-2f+1 becomes an O(log n) bisect update plus one index
+        # instead of copying and sorting both dicts on every status message.
+        self._locked_sorted: List[int] = []
+        self._pending_sorted: List[int] = []
         self.locked: int = 0
         self.stable: int = 0
         self.committed: int = 0
         self.committed_ids: Set[InstanceId] = set()  # C
+        # Dirty flags gating the committed-prefix rescan and try-commit:
+        # both are pure functions of (stable, accepted, pending, committed),
+        # so they only need to re-run after an input they read has changed.
+        self._accepted_dirty = False
+        self._commit_dirty = False
 
         # Commit-reveal machinery.
         self.ciphers: Dict[InstanceId, Any] = {}
@@ -192,6 +203,7 @@ class CommitState:
         self.ciphers[iid] = cipher
         if self.pending.pop(iid, None) is not None:
             self._recompute_min_pending()
+            self._commit_dirty = True
         if iid in self._accepted_ever or iid in self.committed_ids:
             # Already learned through a piggyback; we may still have been
             # missing the cipher for the reveal phase.
@@ -204,6 +216,8 @@ class CommitState:
         self._accepted_ever.add(iid)
         self.accepted[iid] = entry
         self.accepted_count += 1
+        self._accepted_dirty = True
+        self._commit_dirty = True
         self._recompute_prefixes()
 
     def on_reject(self, iid: InstanceId) -> None:
@@ -211,6 +225,7 @@ class CommitState:
         self.rejected_count += 1
         if self.pending.pop(iid, None) is not None:
             self._recompute_min_pending()
+            self._commit_dirty = True
         self._try_commit()
 
     def learn_cipher(self, iid: InstanceId, cipher: Any) -> None:
@@ -245,8 +260,20 @@ class CommitState:
         min_j: int,
         accepted_j: Sequence[AcceptedEntry],
     ) -> None:
-        self.locked_reports[sender] = int(locked_j)
-        self.pending_reports[sender] = int(min_j)
+        locked_j = int(locked_j)
+        min_j = int(min_j)
+        old = self.locked_reports.get(sender)
+        if old != locked_j:
+            if old is not None:
+                del self._locked_sorted[bisect_left(self._locked_sorted, old)]
+            insort(self._locked_sorted, locked_j)
+            self.locked_reports[sender] = locked_j
+        old = self.pending_reports.get(sender)
+        if old != min_j:
+            if old is not None:
+                del self._pending_sorted[bisect_left(self._pending_sorted, old)]
+            insort(self._pending_sorted, min_j)
+            self.pending_reports[sender] = min_j
         for entry in accepted_j:
             if (
                 entry.instance not in self._accepted_ever
@@ -254,6 +281,8 @@ class CommitState:
             ):
                 self._accepted_ever.add(entry.instance)
                 self.accepted[entry.instance] = entry
+                self._accepted_dirty = True
+                self._commit_dirty = True
         self._recompute_prefixes()
 
     @staticmethod
@@ -265,20 +294,33 @@ class CommitState:
 
     def _recompute_prefixes(self) -> None:
         k = 2 * self.services.f + 1
-        locked = self._min_of_top(list(self.locked_reports.values()), k)
-        if locked is not None and locked > self.locked:
-            self.locked = locked
-        pend = self._min_of_top(list(self.pending_reports.values()), k)
-        if pend is not None:
-            stable = min(self.locked, pend)
+        # min of the k highest reports == k-th element from the top of the
+        # ascending mirror; equivalent to _min_of_top over the dict values.
+        ls = self._locked_sorted
+        if len(ls) >= k:
+            locked = ls[-k]
+            if locked > self.locked:
+                self.locked = locked
+        ps = self._pending_sorted
+        if len(ps) >= k:
+            pend = ps[-k]
+            stable = self.locked if pend > self.locked else pend
             if stable > self.stable:
                 self.stable = stable
+                self._accepted_dirty = True
         # committed = max accepted sequence ≤ stable (line 87); monotone.
-        best = self.committed
-        for entry in self.accepted.values():
-            if entry.seq <= self.stable and entry.seq > best:
-                best = entry.seq
-        self.committed = best
+        # Pure in (stable, accepted): rescan only after either changed.
+        if self._accepted_dirty:
+            self._accepted_dirty = False
+            best = self.committed
+            stable_bound = self.stable
+            for entry in self.accepted.values():
+                seq = entry.seq
+                if seq <= stable_bound and seq > best:
+                    best = seq
+            if best > self.committed:
+                self.committed = best
+                self._commit_dirty = True
         self._try_commit()
 
     # ------------------------------------------------------------------
@@ -288,7 +330,13 @@ class CommitState:
         if self.catching_up:
             # Suspended during recovery: adopting peers' log entries and
             # committing new ones concurrently could append out of order.
+            # The dirty flag survives so end_catchup re-evaluates.
             return
+        if not self._commit_dirty:
+            # No input (accepted, committed, pending) changed since the
+            # last evaluation, so the wave below would be empty again.
+            return
+        self._commit_dirty = False
         # wait-pending: never commit past a still-running local instance
         # whose requested sequence number is in the committed prefix.
         bound = self.committed
@@ -400,6 +448,10 @@ class CommitState:
         self.accepted.clear()
         self.locked_reports.clear()
         self.pending_reports.clear()
+        self._locked_sorted.clear()
+        self._pending_sorted.clear()
+        self._accepted_dirty = True
+        self._commit_dirty = True
         self.locked = 0
         self.stable = 0
         self._dshares.clear()
@@ -440,6 +492,7 @@ class CommitState:
         self.accepted.pop(entry.instance, None)
         if self.pending.pop(entry.instance, None) is not None:
             self._recompute_min_pending()
+        self._commit_dirty = True
         self.output_log.append(entry)
         if entry.seq > self.committed:
             self.committed = entry.seq

@@ -92,6 +92,14 @@ class InstanceId:
     proposer: int
     batch_no: int
 
+    def __post_init__(self) -> None:
+        # Instance ids key every hot dict in the protocol; precomputing the
+        # hash once beats re-hashing the field tuple on each lookup.
+        object.__setattr__(self, "_hash", hash((self.proposer, self.batch_no)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def wire_size(self) -> int:
         return 8
 

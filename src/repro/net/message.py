@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import itertools
 import zlib
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Tuple
 
 # Fixed per-message framing overhead: kind tag, instance ids, sender id,
 # authentication MAC — roughly what the Rust prototype's header costs.
@@ -52,35 +51,87 @@ def estimate_size(payload: Any) -> int:
     attrs = getattr(payload, "__dict__", None)
     if attrs is not None:
         return sum(estimate_size(v) + 2 for v in attrs.values())
+    # ``__slots__``-only objects have no ``__dict__``; walk their declared
+    # slots (including inherited ones) so they don't silently cost a flat
+    # 16 bytes regardless of content.
+    slot_names = _slot_names(type(payload))
+    if slot_names:
+        total = 0
+        for name in slot_names:
+            try:
+                total += estimate_size(getattr(payload, name)) + 2
+            except AttributeError:
+                total += 2  # declared but unset slot: framing only
+        return total
     return 16
 
 
-@dataclass
+_slot_cache: Dict[type, Tuple[str, ...]] = {}
+
+
+def _slot_names(cls: type) -> Tuple[str, ...]:
+    """All ``__slots__`` attribute names declared along ``cls``'s MRO."""
+    cached = _slot_cache.get(cls)
+    if cached is None:
+        names = []
+        for base in cls.__mro__:
+            slots = base.__dict__.get("__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for name in slots:
+                if name not in ("__weakref__", "__dict__"):
+                    names.append(name)
+        cached = _slot_cache[cls] = tuple(names)
+    return cached
+
+
+# CRC memo: checksums depend only on (kind, size) and the same handful of
+# kinds at the same handful of sizes recur millions of times per run.
+_crc_cache: Dict[Tuple[str, int], int] = {}
+
+
 class Message:
     """A network message.
 
-    ``size`` defaults to ``HEADER_BYTES + estimate_size(payload)``.  The
-    ``uid`` is a globally unique id used by delivery tracing and tests.
+    ``size`` defaults to ``HEADER_BYTES + estimate_size(payload)``, computed
+    once per logical message at construction — clones and shared broadcast
+    frames reuse it.  The ``uid`` is a globally unique id used by delivery
+    tracing and tests.  A plain ``__slots__`` class: messages are allocated
+    on every hop and dataclass machinery showed up in profiles.
     """
 
-    kind: str
-    payload: Any = None
-    size: int = 0
-    uid: int = field(default_factory=lambda: next(_msg_counter))
-    #: Frame checksum, stamped by the network at transmit time (protocol
-    #: code mutates ``size`` after construction for piggybacks, so the
-    #: checksum has to be taken when the message actually hits the wire).
-    #: 0 means "never transmitted"; a corrupting link flips bits here so
-    #: the receiver can detect the damage.
-    checksum: int = 0
+    __slots__ = ("kind", "payload", "size", "uid", "checksum")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            self.size = HEADER_BYTES + estimate_size(self.payload)
+    def __init__(
+        self,
+        kind: str,
+        payload: Any = None,
+        size: int = 0,
+        uid: int | None = None,
+        checksum: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.size = size if size > 0 else HEADER_BYTES + estimate_size(payload)
+        self.uid = next(_msg_counter) if uid is None else uid
+        #: Frame checksum, stamped by the network at transmit time (protocol
+        #: code mutates ``size`` after construction for piggybacks, so the
+        #: checksum has to be taken when the message actually hits the wire).
+        #: 0 means "never transmitted"; a corrupting link flips bits here so
+        #: the receiver can detect the damage.
+        self.checksum = checksum
 
     def expected_checksum(self) -> int:
         """CRC over the frame header fields the simulation models."""
-        return zlib.crc32(f"{self.kind}|{self.size}".encode()) or 1
+        key = (self.kind, self.size)
+        crc = _crc_cache.get(key)
+        if crc is None:
+            if len(_crc_cache) >= 1 << 16:
+                _crc_cache.clear()
+            crc = _crc_cache[key] = (
+                zlib.crc32(f"{self.kind}|{self.size}".encode()) or 1
+            )
+        return crc
 
     def stamp_checksum(self) -> None:
         self.checksum = self.expected_checksum()

@@ -19,7 +19,9 @@ adds transferable signatures.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.net.adversary import NetworkAdversary, NullAdversary
@@ -92,8 +94,9 @@ class Network:
             raise ValueError(f"pid {process.pid} already registered")
         self._processes[process.pid] = process
         if replica:
-            self._replicas.append(process.pid)
-            self._replicas.sort()
+            # Keep the broadcast group sorted with one O(n) insertion
+            # instead of a full re-sort per registration.
+            insort(self._replicas, process.pid)
         process.attach(self)
 
     def pids(self) -> List[int]:
@@ -135,6 +138,66 @@ class Network:
         else:
             self._transmit(src, dst, message)
 
+    def broadcast(
+        self, src: int, message: Message, *, include_self: bool = True
+    ) -> int:
+        """Fan one logical message out to the replica group, zero-copy.
+
+        The same :class:`Message` instance is shared by every recipient —
+        ``estimate_size`` ran once at construction and the checksum is
+        stamped once here instead of once per destination.  Copy-on-write
+        semantics are preserved: a corrupting link damages a *copy* of the
+        frame (``FaultInjector.corrupted_copy``) and duplicates travel as
+        clones, so per-link faults never leak into other recipients.
+        Fault decisions are drawn per destination in sorted-pid order,
+        exactly as the per-``send`` path would, keeping RNG streams — and
+        therefore whole runs — bit-identical.
+
+        Returns the number of send attempts (including unroutable ones),
+        which callers use for traffic accounting.
+        """
+        processes = self._processes
+        reliable = self.reliable
+        faults = self.faults
+        attempts = 0
+        if reliable is not None:
+            # Reliable channels frame per destination (each link has its
+            # own sequence space); the inner message object stays shared.
+            for dst in self._replicas:
+                if dst == src and not include_self:
+                    continue
+                attempts += 1
+                if dst not in processes:
+                    self.unroutable_dropped += 1
+                    continue
+                reliable.send(src, dst, message)
+            return attempts
+        stamped = False
+        schedule = self._schedule_delivery
+        for dst in self._replicas:
+            if dst == src and not include_self:
+                continue
+            attempts += 1
+            if dst not in processes:
+                self.unroutable_dropped += 1
+                continue
+            if not stamped:
+                message.stamp_checksum()
+                stamped = True
+            if faults is not None:
+                decision = faults.decide(src, dst, message, self.sim.now)
+                if decision.drop:
+                    continue
+                wire = message
+                if decision.corrupt:
+                    wire = FaultInjector.corrupted_copy(message)
+                schedule(src, dst, wire, decision.extra_delay_us)
+                if decision.duplicate:
+                    schedule(src, dst, message.clone(), 0)
+            else:
+                schedule(src, dst, message, 0)
+        return attempts
+
     def _transmit(self, src: int, dst: int, message: Message) -> None:
         """Put one frame on the wire: stamp its checksum, apply link
         faults, and schedule each surviving copy's delivery."""
@@ -160,18 +223,23 @@ class Network:
     def _schedule_delivery(
         self, src: int, dst: int, message: Message, extra_delay_us: int
     ) -> None:
-        departure = self.bandwidth.departure_time(src, message.size)
+        sim = self.sim
+        size = message.size
+        departure = self.bandwidth.departure_time(src, size)
         propagation = self.latency.one_way_us(src, dst)
-        extra = self.adversary.extra_delay_us(src, dst, message.size, self.sim.now)
-        if (
-            self.config.clamp_after_gst
-            and self.sim.now >= self.adversary.gst()
-        ):
-            # After GST the adversary cannot stretch delays past Δ.
-            extra = min(extra, max(0, self.config.delta_us - propagation))
-        ingress = self.bandwidth.ingress_delay_us(dst, message.size)
+        extra = self.adversary.extra_delay_us(src, dst, size, sim.now)
+        if extra:
+            # With zero adversarial delay the clamp is a no-op, so the GST
+            # lookup only runs when there is something to clamp.
+            if self.config.clamp_after_gst and sim.now >= self.adversary.gst():
+                # After GST the adversary cannot stretch delays past Δ.
+                extra = min(extra, max(0, self.config.delta_us - propagation))
+        ingress = self.bandwidth.ingress_delay_us(dst, size)
         arrival = departure + propagation + extra + ingress + extra_delay_us
-        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+        # ``arrival >= now`` by construction (departure is never in the
+        # past and the remaining terms are non-negative), so this can skip
+        # schedule_at's bounds check and call schedule directly.
+        sim.schedule(arrival - sim.now, partial(self._deliver, src, dst, message))
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)

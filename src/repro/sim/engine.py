@@ -21,10 +21,10 @@ and a microsecond grain is fine enough to express both WAN latencies
 
 from __future__ import annotations
 
-import bisect
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from bisect import insort
+from operator import attrgetter
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 # Convenience time units, all expressed in the simulator's integer microsecond
@@ -38,23 +38,45 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (time travel, re-running, ...)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so the queue pops them in
-    deterministic order.  ``cancelled`` events stay in their bucket
+    Buckets order events by the explicit ``(priority, seq)`` key so the
+    queue pops them in deterministic order — a plain ``__slots__`` class
+    beats an ``order=True`` dataclass here because events are the single
+    most-allocated object in a run and field-by-field ``__lt__`` dispatch
+    showed up in profiles.  ``cancelled`` events stay in their bucket
     (cancellation is O(1)) and are skipped when popped.
     """
 
-    time: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}, cancelled={self.cancelled})"
+        )
+
+
+#: Bucket sort key: ties at one timestamp resolve by (priority, insertion).
+_EVENT_KEY = attrgetter("priority", "seq")
 
 
 class Simulator:
@@ -72,6 +94,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processed: int = 0
+        #: Live count of queued events (kept O(1); see ``pending``).
+        self._pending: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -93,11 +117,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled)."""
-        return sum(
-            len(bucket) - self._bucket_pos.get(t, 0)
-            for t, bucket in self._buckets.items()
-        )
+        """Number of events still queued (including cancelled ones that
+        have not been skipped yet).  O(1): maintained as a live counter."""
+        return self._pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -127,7 +149,8 @@ class Simulator:
             # with priority >= the tail keeps the bucket sorted.
             bucket.append(event)
         else:
-            bisect.insort(bucket, event, lo=self._bucket_pos.get(when, 0))
+            insort(bucket, event, lo=self._bucket_pos.get(when, 0), key=_EVENT_KEY)
+        self._pending += 1
         return event
 
     def schedule_at(
@@ -149,19 +172,27 @@ class Simulator:
     # ------------------------------------------------------------------
     def _next_event(self) -> Optional[Event]:
         """Peek the next live event, discarding drained buckets and
-        cancelled bucket heads along the way."""
-        while self._times:
-            t = self._times[0]
-            bucket = self._buckets[t]
-            pos = self._bucket_pos.get(t, 0)
-            while pos < len(bucket) and bucket[pos].cancelled:
+        cancelled bucket heads along the way.  On return the cursor of the
+        head bucket points at the returned event, so the caller can consume
+        it by advancing ``_bucket_pos`` once (see ``run``/``step``)."""
+        times = self._times
+        buckets = self._buckets
+        positions = self._bucket_pos
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            pos = start = positions.get(t, 0)
+            size = len(bucket)
+            while pos < size and bucket[pos].cancelled:
                 pos += 1
-            if pos < len(bucket):
-                self._bucket_pos[t] = pos
+            if pos != start:
+                self._pending -= pos - start
+            if pos < size:
+                positions[t] = pos
                 return bucket[pos]
-            heapq.heappop(self._times)
-            del self._buckets[t]
-            self._bucket_pos.pop(t, None)
+            heapq.heappop(times)
+            del buckets[t]
+            positions.pop(t, None)
         return None
 
     def step(self) -> bool:
@@ -171,7 +202,8 @@ class Simulator:
             return False
         if event.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event queue yielded an event in the past")
-        self._bucket_pos[event.time] = self._bucket_pos.get(event.time, 0) + 1
+        self._bucket_pos[event.time] += 1
+        self._pending -= 1
         self._now = event.time
         self._processed += 1
         event.callback()
@@ -190,20 +222,30 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # The peek in ``_next_event`` leaves the cursor on the event, so the
+        # hot loop consumes it inline instead of re-peeking via ``step`` —
+        # the old peek-then-step shape called ``_next_event`` twice per event.
+        next_event = self._next_event
+        positions = self._bucket_pos
         try:
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._next_event()
-                if head is None:
+                event = next_event()
+                if event is None:
                     if until is not None and self._now < until:
                         self._now = until
                     break
-                if until is not None and head.time > until:
+                when = event.time
+                if until is not None and when > until:
                     self._now = until
                     break
-                if self.step():
-                    executed += 1
+                positions[when] += 1
+                self._pending -= 1
+                self._now = when
+                self._processed += 1
+                event.callback()
+                executed += 1
         finally:
             self._running = False
         return executed

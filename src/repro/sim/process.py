@@ -49,7 +49,10 @@ class CpuModel:
         """Reserve the core for ``cost_us`` of work; return completion time."""
         if cost_us < 0:
             raise ValueError("CPU cost must be non-negative")
-        scaled = int(round(cost_us / self._speed))
+        if self._speed == 1.0:
+            scaled = cost_us  # overwhelmingly common; skip the float round
+        else:
+            scaled = int(round(cost_us / self._speed))
         start = max(self._sim.now, self._free_at)
         self._free_at = start + scaled
         self.busy_time += scaled
@@ -123,14 +126,19 @@ class SimProcess:
         self.network.send(self.pid, dst, message)
 
     def broadcast(self, message: "Message", *, include_self: bool = True) -> None:
-        """Send ``message`` to every process (optionally including self)."""
+        """Send ``message`` to every process (optionally including self).
+
+        Delegates to the network's zero-copy fan-out: one shared frame, one
+        checksum stamp, one size estimate for the whole replica group.
+        """
         if self.crashed:
             return
         assert self.network is not None, "process not attached to a network"
-        for dst in self.network.pids():
-            if dst == self.pid and not include_self:
-                continue
-            self.send(dst, message)
+        attempts = self.network.broadcast(
+            self.pid, message, include_self=include_self
+        )
+        self.messages_sent += attempts
+        self.bytes_sent += attempts * message.size
 
     # ------------------------------------------------------------------
     # Receiving

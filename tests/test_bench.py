@@ -1,0 +1,168 @@
+"""Tests for the repro.bench suite: report schema, determinism oracle,
+and baseline comparison logic."""
+
+import json
+
+import pytest
+
+from repro.bench.suite import (
+    BENCH_SCHEMA_VERSION,
+    _run_macro_cell,
+    _timed,
+    check_against_baseline,
+    default_output_path,
+    prefix_digest,
+    write_report,
+)
+from repro.harness.config import ExperimentConfig
+from repro.sim.engine import MILLISECONDS
+
+
+def _small_config(**overrides):
+    base = dict(
+        n_nodes=4,
+        seed=1,
+        batch_size=10,
+        clients_per_node=1,
+        client_window=5,
+        duration_us=800 * MILLISECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestTimed:
+    def test_reports_iterations_and_rate(self):
+        out = _timed(lambda: 1000)
+        assert out["iterations"] == 1000
+        assert out["wall_s"] >= 0
+        assert out["ops_per_s"] > 0
+
+
+class TestMacroCell:
+    def test_schema_and_determinism(self):
+        cell_a = _run_macro_cell("t", _small_config())
+        cell_b = _run_macro_cell("t", _small_config())
+        for key in (
+            "n",
+            "seed",
+            "duration_ms",
+            "events",
+            "wall_s",
+            "events_per_s",
+            "committed",
+            "prefix_sha256",
+            "invariant_violations",
+            "safety_violation",
+            "caches",
+        ):
+            assert key in cell_a
+        assert cell_a["n"] == 4
+        assert cell_a["events"] > 0
+        assert cell_a["safety_violation"] is None
+        assert cell_a["invariant_violations"] == []
+        # The bit-determinism oracle: same config, same decided prefixes.
+        assert cell_a["prefix_sha256"] == cell_b["prefix_sha256"]
+        assert cell_a["events"] == cell_b["events"]
+        # Cache layers report hits/misses through the suite.
+        assert "digest" in cell_a["caches"]
+        assert cell_a["caches"]["digest"]["hits"] >= 0
+
+    def test_prefix_digest_sensitive_to_output(self):
+        class FakeNode:
+            def __init__(self, out):
+                self._out = out
+
+            def output_sequence(self):
+                return self._out
+
+        class FakeCluster:
+            def __init__(self, outs):
+                self.nodes = [FakeNode(o) for o in outs]
+
+        a = prefix_digest(FakeCluster([[(0, b"aa")], [(0, b"aa")]]))
+        same = prefix_digest(FakeCluster([[(0, b"aa")], [(0, b"aa")]]))
+        different = prefix_digest(FakeCluster([[(0, b"aa")], [(1, b"aa")]]))
+        assert a == same
+        assert a != different
+
+
+class TestReportIo:
+    def test_write_report_round_trips(self, tmp_path):
+        report = {"schema": BENCH_SCHEMA_VERSION, "macro": {}, "micro": {}}
+        path = write_report(report, tmp_path / "BENCH_test.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_default_output_path_shape(self, tmp_path):
+        path = default_output_path(tmp_path)
+        assert path.name.startswith("BENCH_")
+        assert path.suffix == ".json"
+
+
+def _report(events_per_s=1000.0, prefix="ab" * 32, violations=(), safety=None):
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "macro": {
+            "cell": {
+                "n": 4,
+                "seed": 1,
+                "duration_ms": 800,
+                "events_per_s": events_per_s,
+                "prefix_sha256": prefix,
+                "invariant_violations": list(violations),
+                "safety_violation": safety,
+            }
+        },
+    }
+
+
+class TestCheckAgainstBaseline:
+    def test_identical_passes(self):
+        assert check_against_baseline(_report(), _report()) == []
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        current = _report(events_per_s=800.0)  # 20% below baseline
+        assert check_against_baseline(current, _report(), tolerance=0.30) == []
+
+    def test_large_slowdown_fails(self):
+        current = _report(events_per_s=500.0)  # 50% below baseline
+        failures = check_against_baseline(current, _report(), tolerance=0.30)
+        assert len(failures) == 1
+        assert "below" in failures[0]
+
+    def test_speedup_passes(self):
+        assert check_against_baseline(_report(events_per_s=9999.0), _report()) == []
+
+    def test_prefix_mismatch_is_hard_failure(self):
+        current = _report(prefix="cd" * 32)
+        failures = check_against_baseline(current, _report())
+        assert any("determinism" in f for f in failures)
+
+    def test_invariant_violation_fails(self):
+        current = _report(violations=["prefix divergence at seq 3"])
+        failures = check_against_baseline(current, _report())
+        assert any("invariant" in f for f in failures)
+
+    def test_safety_violation_fails(self):
+        current = _report(safety="pid 1 diverged")
+        failures = check_against_baseline(current, _report())
+        assert any("safety" in f for f in failures)
+
+    def test_shape_mismatch_skips_prefix_compare(self):
+        baseline = _report()
+        baseline["macro"]["cell"]["n"] = 32
+        failures = check_against_baseline(_report(prefix="cd" * 32), baseline)
+        assert len(failures) == 1
+        assert "not comparable" in failures[0]
+        assert not any("determinism" in f for f in failures)
+
+    def test_unknown_cell_in_baseline_ignored(self):
+        baseline = _report()
+        baseline["macro"] = {"other": baseline["macro"]["cell"]}
+        assert check_against_baseline(_report(), baseline) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            check_against_baseline(_report(), _report(), tolerance=1.5)

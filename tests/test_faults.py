@@ -160,3 +160,87 @@ class TestFaultInjector:
         d = inj.decide(0, 1, Message("x"), now=0)
         assert 1 <= d.extra_delay_us <= 1000
         assert inj.stats.reordered == 1
+
+
+class TestChecksumIntegrity:
+    """Frame checksum semantics the zero-copy broadcast path relies on."""
+
+    def test_never_stamped_frame_verifies(self):
+        # checksum == 0 means "never transmitted"; locally delivered or
+        # hand-constructed frames must not be mistaken for corruption.
+        assert Message("x").verify_checksum()
+        assert Message("x", {"a": 1}, size=77).verify_checksum()
+
+    def test_clone_preserves_stamped_checksum(self):
+        msg = Message("x", {"a": 1})
+        msg.stamp_checksum()
+        dup = msg.clone()
+        assert dup.checksum == msg.checksum
+        assert dup.verify_checksum()
+        assert dup.uid != msg.uid  # still a distinct frame
+
+    def test_clone_of_unstamped_frame_stays_unstamped(self):
+        assert Message("x").clone().checksum == 0
+
+
+class TestCorruptionDelivery:
+    """Corrupt frames through the network: detected at the receiver,
+    independent of arrival order relative to clean copies."""
+
+    def _net(self, plan=None, seed=7):
+        from repro.net.network import Network
+        from repro.sim.engine import Simulator
+        from repro.sim.process import SimProcess
+
+        sim = Simulator()
+        inj = FaultInjector(plan, RngRegistry(seed)) if plan else None
+        net = Network(sim, faults=inj)
+        procs = [SimProcess(pid, sim) for pid in (0, 1, 2)]
+        for p in procs:
+            net.register(p)
+        return sim, net, procs
+
+    def test_corrupted_duplicate_before_original(self):
+        # The damaged copy hits the receiver first; it must be dropped
+        # without poisoning delivery of the clean original behind it.
+        sim, net, procs = self._net()
+        got = []
+        procs[1].handler("x", lambda m, s: got.append(m))
+        msg = Message("x", {"v": 1})
+        msg.stamp_checksum()
+        bad = FaultInjector.corrupted_copy(msg)
+        net._deliver(0, 1, bad)  # corrupted duplicate arrives first
+        net._deliver(0, 1, msg)  # then the clean original
+        assert net.corrupt_dropped == 1
+        assert len(got) == 1
+        assert got[0].verify_checksum()
+
+    def test_corrupt_and_duplicate_link_delivers_clean_copy(self):
+        # corrupt_rate=1 damages the wire frame, duplicate_rate=1 sends a
+        # clean clone: exactly one intact message must arrive.
+        plan = FaultPlan(
+            links=(LinkFault(corrupt_rate=1.0, duplicate_rate=1.0, dst=(1,)),)
+        )
+        sim, net, procs = self._net(plan)
+        got = []
+        procs[1].handler("x", lambda m, s: got.append(m))
+        net.send(0, 1, Message("x", {"v": 1}))
+        sim.run()
+        assert net.corrupt_dropped == 1
+        assert len(got) == 1
+        assert got[0].verify_checksum()
+
+    def test_broadcast_corruption_is_per_link(self):
+        # Zero-copy fan-out shares one frame; a corrupting link must damage
+        # only its own copy, never the shared original other links deliver.
+        plan = FaultPlan(links=(LinkFault(corrupt_rate=1.0, dst=(1,)),))
+        sim, net, procs = self._net(plan)
+        got = {1: [], 2: []}
+        procs[1].handler("x", lambda m, s: got[1].append(m))
+        procs[2].handler("x", lambda m, s: got[2].append(m))
+        net.broadcast(0, Message("x", {"v": 1}), include_self=False)
+        sim.run()
+        assert net.corrupt_dropped == 1
+        assert got[1] == []  # the corrupted copy was dropped
+        assert len(got[2]) == 1  # the shared frame arrived intact
+        assert got[2][0].verify_checksum()
