@@ -251,6 +251,7 @@ def cmd_bench(args) -> None:
         quick=args.quick,
         macro_n=args.n,
         macro_duration_ms=args.duration_ms,
+        coalesce=args.coalesce,
     )
     out = args.out or default_output_path()
     path = write_report(report, out)
@@ -273,7 +274,7 @@ def cmd_bench(args) -> None:
 
         baseline = _json.loads(open(args.check_against).read())
         failures = check_against_baseline(
-            report, baseline, tolerance=args.tolerance
+            report, baseline, tolerance=args.max_slowdown
         )
         if failures:
             print(f"\nBENCH CHECK vs {args.check_against}: FAIL")
@@ -428,7 +429,15 @@ def main(argv=None) -> int:
         help="compare against a baseline report; exit 1 on regression",
     )
     pbench.add_argument(
-        "--tolerance",
+        "--coalesce",
+        action="store_true",
+        help="also run *_coalesced macro cells (wire coalescing + delta "
+        "piggybacks on; the classic cells still run for digest checks)",
+    )
+    pbench.add_argument(
+        "--max-slowdown",
+        "--tolerance",  # legacy spelling
+        dest="max_slowdown",
         type=float,
         default=0.30,
         help="allowed events/sec slowdown vs baseline (default 0.30)",

@@ -31,6 +31,11 @@ BENCH_SCHEMA_VERSION = 1
 #: Relative slowdown vs baseline events/sec that fails the comparison.
 DEFAULT_TOLERANCE = 0.30
 
+#: Coalescing window used by the ``*_coalesced`` macro cells: long enough
+#: to bundle protocol bursts (~2x ratio at n=32) while staying well under
+#: the WAN latency grain, so ordering behaviour stays realistic.
+COALESCE_BENCH_WINDOW_US = 1000
+
 
 def default_output_path(directory: str | Path = ".") -> Path:
     """``BENCH_<ISO date>.json`` in ``directory``."""
@@ -252,7 +257,7 @@ def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, A
     result = cluster.run()
     wall = time.perf_counter() - start
     events = result.events_processed
-    return {
+    cell = {
         "n": config.n_nodes,
         "seed": config.seed,
         "duration_ms": config.duration_us // 1000,
@@ -270,6 +275,13 @@ def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, A
         "prefix_sha256": prefix_digest(cluster),
         "caches": _cache_snapshot(cluster),
     }
+    wire = result.wire_stats
+    if wire:
+        cell["coalesced"] = True
+        cell["frames_sent"] = wire["frames_sent"]
+        cell["wire_messages_sent"] = wire["messages_sent"]
+        cell["coalescing_ratio"] = wire["coalescing_ratio"]
+    return cell
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +292,7 @@ def run_bench_suite(
     quick: bool = False,
     macro_n: Optional[int] = None,
     macro_duration_ms: Optional[int] = None,
+    coalesce: bool = False,
     progress: Optional[Callable[[str], None]] = print,
 ) -> Dict[str, Any]:
     """Run the full suite and return the report dict.
@@ -288,7 +301,12 @@ def run_bench_suite(
     ``macro_n``/``macro_duration_ms`` override the headline cell's shape
     (the prefix digest is then only comparable to baselines with the same
     shape — ``check_against_baseline`` checks that before comparing).
+    ``coalesce`` adds ``*_coalesced`` variants of the macro cells (wire
+    coalescing + delta piggybacks on); the classic cells still run, so a
+    coalescing report remains digest-comparable on the compat path.
     """
+    import dataclasses
+
     say = progress or (lambda _msg: None)
     suite_start = time.perf_counter()
 
@@ -308,6 +326,16 @@ def run_bench_suite(
     macro[headline] = _run_macro_cell(headline, cfg)
     say(f"macro: chaos_smoke ...")
     macro["chaos_smoke"] = _run_macro_cell("chaos_smoke", _chaos_config())
+    if coalesce:
+        for name, base_cfg in ((headline, cfg), ("chaos_smoke", _chaos_config())):
+            cname = f"{name}_coalesced"
+            say(f"macro: {cname} (window={COALESCE_BENCH_WINDOW_US} us) ...")
+            ccfg = dataclasses.replace(
+                base_cfg,
+                coalesce=True,
+                coalesce_window_us=COALESCE_BENCH_WINDOW_US,
+            )
+            macro[cname] = _run_macro_cell(cname, ccfg)
 
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
@@ -334,7 +362,12 @@ def write_report(report: Dict[str, Any], out_path: str | Path) -> Path:
 # Baseline comparison
 # ----------------------------------------------------------------------
 def _cell_shape(cell: Dict[str, Any]) -> tuple:
-    return (cell.get("n"), cell.get("seed"), cell.get("duration_ms"))
+    return (
+        cell.get("n"),
+        cell.get("seed"),
+        cell.get("duration_ms"),
+        bool(cell.get("coalesced")),
+    )
 
 
 def check_against_baseline(
@@ -391,6 +424,7 @@ def check_against_baseline(
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_TOLERANCE",
+    "COALESCE_BENCH_WINDOW_US",
     "run_bench_suite",
     "write_report",
     "check_against_baseline",

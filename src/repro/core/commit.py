@@ -41,6 +41,9 @@ NO_PENDING = 1 << 62
 
 STATUS_KIND = "lyra.status"
 DSHARE_KIND = "lyra.dshare"
+#: Pull signal: "your last delta marker referenced a full report I never
+#: saw — force a full one on your next broadcast".
+PB_PULL_KIND = "lyra.pb_pull"
 
 
 @dataclass
@@ -60,6 +63,12 @@ class CommitConfig:
     #: between processes"): refuse to validate more than this many
     #: instances per proposer per second.  ``None`` = off.
     max_proposer_rate_per_s: Optional[float] = None
+    #: Delta-encode the piggybacked reports (§V-C): full
+    #: min-pending/accepted reports travel only when that state changed
+    #: since the last full report; otherwise broadcasts carry a cheap
+    #: "no change since seq k" marker.  ``locked`` always travels — it
+    #: advances with the local clock on every broadcast.
+    delta_piggyback: bool = False
 
     def resolved_L(self, delta_us: int) -> int:
         return self.max_latency_us if self.max_latency_us is not None else 3 * delta_us
@@ -93,6 +102,7 @@ class CommitState:
         self.vss = vss
         self.config = config or CommitConfig()
         self.L = self.config.resolved_L(services.delta_us)
+        self._quorum_k = 2 * services.f + 1
         self.on_commit = on_commit
         self.on_execute = on_execute
 
@@ -117,6 +127,17 @@ class CommitState:
         # so they only need to re-run after an input they read has changed.
         self._accepted_dirty = False
         self._commit_dirty = False
+
+        # Delta piggybacking: ``_acc_version`` counts mutations of the
+        # live accepted set; a full report snapshots (min_pending,
+        # _acc_version) so later broadcasts can tell "nothing changed"
+        # without comparing the sets themselves.
+        self._acc_version = 0
+        self._pb_seq = 0
+        self._pb_sent_state: Optional[Tuple[int, int]] = None
+        self._pb_force_full = False
+        self._peer_pb: Dict[int, Tuple[int, int]] = {}  # sender -> (seq, minp)
+        self._pull_pending: Set[int] = set()
 
         # Commit-reveal machinery.
         self.ciphers: Dict[InstanceId, Any] = {}
@@ -215,6 +236,7 @@ class CommitState:
         entry = AcceptedEntry(iid, cipher.cipher_id, s)
         self._accepted_ever.add(iid)
         self.accepted[iid] = entry
+        self._acc_version += 1
         self.accepted_count += 1
         self._accepted_dirty = True
         self._commit_dirty = True
@@ -250,6 +272,40 @@ class CommitState:
         # the incremental accepted entries.
         return 8 + 8 + 32 + sum(e.wire_size() for e in self.accepted.values())
 
+    def piggyback_delta(self) -> dict:
+        """Delta-encoded piggyback (§V-C): ``l`` (locked) always travels;
+        ``m``/``a`` (min-pending, accepted) only when they changed since
+        the last full report, which carries a fresh sequence number ``s``.
+        Unchanged state compresses to a marker ``{"l", "k"}`` referencing
+        the last full report."""
+        locked = self.clock.read() - self.L
+        state = (self.min_pending, self._acc_version)
+        if state == self._pb_sent_state and not self._pb_force_full:
+            return {"l": locked, "k": self._pb_seq}
+        self._pb_seq += 1
+        self._pb_sent_state = state
+        self._pb_force_full = False
+        return {
+            "l": locked,
+            "m": self.min_pending,
+            "a": tuple(self.accepted.values()),
+            "s": self._pb_seq,
+        }
+
+    @staticmethod
+    def piggyback_delta_size(pbd: dict) -> int:
+        """Wire cost of a delta piggyback produced by :meth:`piggyback_delta`."""
+        acc = pbd.get("a")
+        if acc is None:
+            return 16  # marker: locked + referenced seq
+        # Full report: classic layout plus the sequence number.
+        return 8 + 8 + 8 + 32 + sum(e.wire_size() for e in acc)
+
+    def force_full_piggyback(self) -> None:
+        """Pull signal: a peer missed our last full report — the next
+        broadcast must carry one regardless of whether state changed."""
+        self._pb_force_full = True
+
     # ------------------------------------------------------------------
     # Receiving piggybacked state (lines 79-88)
     # ------------------------------------------------------------------
@@ -260,30 +316,102 @@ class CommitState:
         min_j: int,
         accepted_j: Sequence[AcceptedEntry],
     ) -> None:
+        # Fused report-update + prefix-recompute: the locked/stable bounds
+        # are pure functions of the sorted report mirrors (and each other),
+        # so they only need re-evaluating for the mirror a report actually
+        # moved — this handler runs once per delivered broadcast, making it
+        # the single hottest protocol function in a run.
         locked_j = int(locked_j)
         min_j = int(min_j)
-        old = self.locked_reports.get(sender)
+        changed = False
+        reports = self.locked_reports
+        old = reports.get(sender)
         if old != locked_j:
+            ls = self._locked_sorted
             if old is not None:
-                del self._locked_sorted[bisect_left(self._locked_sorted, old)]
-            insort(self._locked_sorted, locked_j)
-            self.locked_reports[sender] = locked_j
-        old = self.pending_reports.get(sender)
+                del ls[bisect_left(ls, old)]
+            insort(ls, locked_j)
+            reports[sender] = locked_j
+            k = self._quorum_k
+            if len(ls) >= k:
+                locked = ls[-k]
+                if locked > self.locked:
+                    self.locked = locked
+                    changed = True
+        reports = self.pending_reports
+        old = reports.get(sender)
         if old != min_j:
+            ps = self._pending_sorted
             if old is not None:
-                del self._pending_sorted[bisect_left(self._pending_sorted, old)]
-            insort(self._pending_sorted, min_j)
-            self.pending_reports[sender] = min_j
-        for entry in accepted_j:
-            if (
-                entry.instance not in self._accepted_ever
-                and entry.instance not in self.committed_ids
-            ):
-                self._accepted_ever.add(entry.instance)
-                self.accepted[entry.instance] = entry
-                self._accepted_dirty = True
-                self._commit_dirty = True
-        self._recompute_prefixes()
+                del ps[bisect_left(ps, old)]
+            insort(ps, min_j)
+            reports[sender] = min_j
+            changed = True
+        if accepted_j:
+            accepted_ever = self._accepted_ever
+            committed_ids = self.committed_ids
+            for entry in accepted_j:
+                iid = entry.instance
+                if iid not in accepted_ever and iid not in committed_ids:
+                    accepted_ever.add(iid)
+                    self.accepted[iid] = entry
+                    self._acc_version += 1
+                    self._accepted_dirty = True
+                    self._commit_dirty = True
+        if changed or self._accepted_dirty:
+            self._update_prefixes()
+        elif self._commit_dirty:
+            self._try_commit()
+
+    def on_status_delta(self, sender: int, pbd: dict) -> bool:
+        """Consume a delta-encoded piggyback.
+
+        Returns True when ``pbd`` is a marker referencing a full report
+        this process never saw (loss, reordering, or a restart on either
+        side) — the caller should signal ``sender`` to force a full
+        report.  Until that arrives the sender's locked report still
+        updates (it rides every piggyback), so only the freshness of its
+        min-pending report degrades — a liveness matter, never safety."""
+        locked = pbd.get("l", 0)
+        seq = pbd.get("s")
+        if seq is not None:  # full report
+            minp = pbd.get("m", NO_PENDING)
+            self._peer_pb[sender] = (seq, minp)
+            self._pull_pending.discard(sender)
+            self.on_status(sender, locked, minp, pbd.get("a", ()))
+            return False
+        cached = self._peer_pb.get(sender)
+        if cached is not None and cached[0] == pbd.get("k"):
+            # Marker: re-assert the cached min-pending under the new
+            # locked bound.  Accepted entries were adopted with the full
+            # report (adoption is cumulative), so none travel here.
+            self.on_status(sender, locked, cached[1], ())
+            return False
+        self._status_locked_only(sender, locked)
+        if sender in self._pull_pending:
+            return False
+        self._pull_pending.add(sender)
+        return True
+
+    def _status_locked_only(self, sender: int, locked_j: int) -> None:
+        """Update only the locked report of ``sender`` (marker whose full
+        report is missing: its min-pending value is unknown)."""
+        locked_j = int(locked_j)
+        reports = self.locked_reports
+        old = reports.get(sender)
+        if old == locked_j:
+            return
+        ls = self._locked_sorted
+        if old is not None:
+            del ls[bisect_left(ls, old)]
+        insort(ls, locked_j)
+        reports[sender] = locked_j
+        k = self._quorum_k
+        if len(ls) >= k:
+            locked = ls[-k]
+            if locked > self.locked:
+                self.locked = locked
+                self._update_prefixes()
 
     @staticmethod
     def _min_of_top(values: List[int], k: int) -> Optional[int]:
@@ -293,7 +421,7 @@ class CommitState:
         return sorted(values, reverse=True)[k - 1]
 
     def _recompute_prefixes(self) -> None:
-        k = 2 * self.services.f + 1
+        k = self._quorum_k
         # min of the k highest reports == k-th element from the top of the
         # ascending mirror; equivalent to _min_of_top over the dict values.
         ls = self._locked_sorted
@@ -301,6 +429,13 @@ class CommitState:
             locked = ls[-k]
             if locked > self.locked:
                 self.locked = locked
+        self._update_prefixes()
+
+    def _update_prefixes(self) -> None:
+        """Re-derive stable/committed from the current locked bound and
+        pending mirror, then run try-commit.  Callers must have already
+        refreshed ``self.locked`` (or know it is current)."""
+        k = self._quorum_k
         ps = self._pending_sorted
         if len(ps) >= k:
             pend = ps[-k]
@@ -321,7 +456,8 @@ class CommitState:
             if best > self.committed:
                 self.committed = best
                 self._commit_dirty = True
-        self._try_commit()
+        if self._commit_dirty:
+            self._try_commit()
 
     # ------------------------------------------------------------------
     # try-commit (lines 89-95)
@@ -354,6 +490,7 @@ class CommitState:
             del self.accepted[entry.instance]
             self.committed_ids.add(entry.instance)
             self.output_log.append(entry)
+        self._acc_version += 1
         if self.on_commit is not None:
             self.on_commit(wave)
         for entry in wave:
@@ -568,4 +705,5 @@ __all__ = [
     "NO_PENDING",
     "STATUS_KIND",
     "DSHARE_KIND",
+    "PB_PULL_KIND",
 ]

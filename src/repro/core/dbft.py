@@ -41,6 +41,9 @@ AUX_KIND = "lyra.aux"
 #: adversarial schedule longer than any experiment we run.
 DEFAULT_MAX_ROUNDS = 64
 
+_FS1: FrozenSet[int] = frozenset({1})
+_FS0: FrozenSet[int] = frozenset({0})
+
 
 class BinaryConsensus:
     """One BOC consensus instance (Algorithm 3) at one process."""
@@ -82,6 +85,13 @@ class BinaryConsensus:
 
         self._vvals: Dict[int, Set[int]] = {}
         self._aux: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        #: Incremental view of the AUX quorum condition.  Eligibility
+        #: (``e ⊆ vvals``) is monotone — vvals only grows and AUX contents
+        #: are immutable — so each sender is counted exactly once, when its
+        #: entry first becomes eligible.  ``[count, ones, zeros, union]``
+        #: per round; not-yet-eligible entries wait in ``_aux_pending``.
+        self._aux_elig: Dict[int, list] = {}
+        self._aux_pending: Dict[int, Dict[int, FrozenSet[int]]] = {}
         self._coord: Dict[int, int] = {}
         self._coord_sent: Set[int] = set()
         self._timer_expired: Set[int] = set()
@@ -174,6 +184,10 @@ class BinaryConsensus:
         bucket = self._aux.setdefault(r, {})
         if sender not in bucket:
             bucket[sender] = eset
+            if eset <= self.vvals(r):
+                self._note_eligible(r, eset)
+            else:
+                self._aux_pending.setdefault(r, {})[sender] = eset
             self._try_complete(r)
 
     # ------------------------------------------------------------------
@@ -195,6 +209,11 @@ class BinaryConsensus:
         if b in vvals:
             return
         vvals.add(b)
+        # Promote parked AUX entries that this value makes eligible.
+        pending = self._aux_pending.get(r)
+        if pending:
+            for sender in [s for s, e in pending.items() if e <= vvals]:
+                self._note_eligible(r, pending.pop(sender))
         # Coordinator duty (lines 37-39): broadcast the first value.
         if (
             self.services.pid == self.coordinator_of(r)
@@ -239,28 +258,38 @@ class BinaryConsensus:
         )
         self._try_complete(r)
 
+    def _note_eligible(self, r: int, eset: FrozenSet[int]) -> None:
+        state = self._aux_elig.get(r)
+        if state is None:
+            state = self._aux_elig[r] = [0, 0, 0, set()]
+        state[0] += 1
+        if eset == _FS1:
+            state[1] += 1
+        elif eset == _FS0:
+            state[2] += 1
+        state[3] |= eset
+
     def _try_complete(self, r: int) -> None:
-        """Lines 43-51: evaluate the AUX quorum condition and advance."""
+        """Lines 43-51: evaluate the AUX quorum condition and advance.
+
+        Equivalent to rebuilding ``{s: e for s, e in aux[r].items() if
+        e <= vvals}`` and scanning it, but reads the incrementally
+        maintained counters instead — this runs once per AUX receipt and
+        per vvals growth, making it a protocol hot path at large n."""
         if self.closed or r != self.round or r in self._advanced:
             return
         if r not in self._aux_sent:
             return
-        vvals = self.vvals(r)
-        bucket = self._aux.get(r, {})
-        eligible = {s: e for s, e in bucket.items() if e <= vvals}
-        if len(eligible) < self.services.quorum:
+        state = self._aux_elig.get(r)
+        quorum = self.services.quorum
+        if state is None or state[0] < quorum:
             return
-        s: Optional[FrozenSet[int]] = None
-        for v in (1, 0):
-            supporters = sum(1 for e in eligible.values() if e == frozenset({v}))
-            if supporters >= self.services.quorum:
-                s = frozenset({v})
-                break
-        if s is None:
-            union: Set[int] = set()
-            for e in eligible.values():
-                union |= e
-            s = frozenset(union)
+        if state[1] >= quorum:
+            s: FrozenSet[int] = _FS1
+        elif state[2] >= quorum:
+            s = _FS0
+        else:
+            s = frozenset(state[3])
         if len(s) == 1:
             (v,) = s
             self.est = v

@@ -68,7 +68,15 @@ class ProtocolServices:
     #: drop-counting :class:`NullTransport` instead of losing messages
     #: invisibly.
     send_fn: Optional[Callable[[int, Message], None]] = None
-    #: Broadcast to all replicas: (Message) -> None.
+    #: Broadcast to all replicas: (Message) -> None.  In a full cluster
+    #: this is the host node's ``_proto_broadcast``, which is also where
+    #: Algorithm-4 commit state piggybacks onto every outgoing broadcast:
+    #: a full ``"pb"`` report, or — with ``CommitConfig.delta_piggyback``
+    #: — a ``"pbd"`` delta that collapses to a 16-byte "no change since
+    #: seq k" marker whenever locked/min-pending/accepted state is
+    #: unchanged.  Protocol instances stay oblivious: they call
+    #: :meth:`broadcast` with their own payload and the transport layer
+    #: decorates it.
     broadcast_fn: Optional[Callable[[Message], None]] = None
     timers: Optional[TimerWheel] = None
     threshold_signer: Optional[ThresholdSigner] = None
@@ -108,6 +116,8 @@ class ProtocolServices:
         self.send_fn(dst, Message(kind, payload, size))
 
     def broadcast(self, kind: str, payload: Any, size: int = 0) -> None:
+        # ``size`` is the protocol payload only; piggyback bytes are
+        # accounted by the decorating broadcast_fn (see field doc above).
         self.broadcast_fn(Message(kind, payload, size))
 
 

@@ -44,9 +44,26 @@ FETCH_KIND = "lyra.fetch"
 _PREDS_BYTES_PER_NODE = 8
 
 
+_digest_memo: Dict[Tuple[Any, bytes, Tuple[int, ...]], bytes] = {}
+
+
 def message_digest(iid: Any, cipher_id: bytes, preds: Tuple[int, ...]) -> bytes:
-    """The digest shares and proofs are bound to: H(iid, c_t, S_t)."""
-    return digest_of((getattr(iid, "canonical", lambda: iid)(), cipher_id, preds))
+    """The digest shares and proofs are bound to: H(iid, c_t, S_t).
+
+    Memoized: every replica hashes the same (iid, c_t, S_t) triple on
+    INIT receipt, and zero-copy broadcast shares the very ``cipher_id``/
+    ``preds`` objects cluster-wide, so the key hashes cheaply and one
+    SHA-256 serves the whole cluster."""
+    key = (iid, cipher_id, preds)
+    digest = _digest_memo.get(key)
+    if digest is None:
+        if len(_digest_memo) >= (1 << 15):
+            _digest_memo.clear()
+        digest = digest_of(
+            (getattr(iid, "canonical", lambda: iid)(), cipher_id, preds)
+        )
+        _digest_memo[key] = digest
+    return digest
 
 
 class VvbInstance:

@@ -140,11 +140,16 @@ class FeldmanVSS:
         if verdict is not None:
             return verdict
         lhs = pow(self.g, share.value, self.q)
+        # Horner in the exponent: prod C_j^{i^j} = (..(C_{k-1}^i * C_{k-2})^i
+        # ..)^i * C_0.  Exponents stay the (tiny) share index instead of a
+        # field-width i^j, so each step is a ~log2(n)-squaring pow rather
+        # than a full 127-bit modexp — the verification verdict (and hence
+        # every cached value) is identical.
+        q = self.q
+        i = share.index
         rhs = 1
-        x_pow = 1  # i^j mod p (exponents live in the field)
-        for c in commitment.values:
-            rhs = (rhs * pow(c, x_pow, self.q)) % self.q
-            x_pow = self.field.mul(x_pow, share.index)
+        for c in reversed(commitment.values):
+            rhs = (pow(rhs, i, q) * c) % q
         return _verify_cache.put(key, lhs == rhs)
 
     def commitment_to_secret(self, commitment: FeldmanCommitment) -> int:

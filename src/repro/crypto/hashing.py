@@ -130,6 +130,13 @@ def _feed(h: Any, value: Any) -> None:
 
 def digest_of(value: Any) -> bytes:
     """Canonical SHA-256 digest of a (nested) Python value."""
+    if type(value) is bytes:
+        # Hot path: signature layers hash pre-computed digests (bytes).
+        # One concatenation + one C call produces the identical stream
+        # ``b"Y" + len + value`` that ``_feed`` would have fed piecewise.
+        return hashlib.sha256(
+            b"Y" + len(value).to_bytes(8, "big") + value
+        ).digest()
     h = hashlib.sha256()
     _feed(h, value)
     return h.digest()

@@ -72,11 +72,20 @@ class KeyRegistry:
         by ``pid`` over ``message``.  Memoized on ``(pid, digest, tag)``."""
         if signature.signer != pid:
             return False
-        digest = digest_of(message)
-        key = (pid, digest, signature.tag)
-        verdict = self._verify_cache.get(key)
-        if verdict is not None:
-            return verdict
+        if type(message) is bytes:
+            # Bytes messages key the memo directly (distinct namespace):
+            # hits skip the digest recomputation.
+            key = ("b", pid, message, signature.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
+            digest = digest_of(message)
+        else:
+            digest = digest_of(message)
+            key = (pid, digest, signature.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
         expect = hmac.new(self._key(pid), digest, hashlib.sha512).digest()
         return self._verify_cache.put(
             key, hmac.compare_digest(expect, signature.tag)

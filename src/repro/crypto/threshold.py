@@ -97,11 +97,21 @@ class ThresholdScheme:
         and a triple's verdict never changes."""
         if share.signer != pid or not (0 <= pid < self.n):
             return False
-        digest = digest_of(message)
-        key = ("share", pid, digest, share.tag)
-        verdict = self._verify_cache.get(key)
-        if verdict is not None:
-            return verdict
+        if type(message) is bytes:
+            # Key the memo on the raw message bytes (distinct namespace) so
+            # cache hits — the common case during quorum collection — skip
+            # the digest recomputation entirely.
+            key = ("share-b", pid, message, share.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
+            digest = digest_of(message)
+        else:
+            digest = digest_of(message)
+            key = ("share", pid, digest, share.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
         expect = hmac.new(self._share_key(pid), digest, hashlib.sha384)
         return self._verify_cache.put(
             key, hmac.compare_digest(expect.digest(), share.tag)
@@ -133,11 +143,18 @@ class ThresholdScheme:
         not of the keyed computation)."""
         if signature.signer_count < self.threshold:
             return False
-        digest = digest_of(message)
-        key = ("full", digest, signature.tag)
-        verdict = self._verify_cache.get(key)
-        if verdict is not None:
-            return verdict
+        if type(message) is bytes:
+            key = ("full-b", message, signature.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
+            digest = digest_of(message)
+        else:
+            digest = digest_of(message)
+            key = ("full", digest, signature.tag)
+            verdict = self._verify_cache.get(key)
+            if verdict is not None:
+                return verdict
         expect = hmac.new(self._master, b"full:" + digest, hashlib.sha384).digest()
         return self._verify_cache.put(
             key, hmac.compare_digest(expect, signature.tag)

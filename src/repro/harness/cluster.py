@@ -12,7 +12,7 @@ from __future__ import annotations
 import gc
 import statistics
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.commit import CommitConfig
 from repro.core.node import LyraConfig, LyraNode
@@ -59,6 +59,9 @@ class ExperimentResult:
     invariant_checks: int = 0
     invariant_violations: List[str] = field(default_factory=list)
     fault_stats: Dict[str, int] = field(default_factory=dict)
+    # Link-level coalescing counters (frames vs logical messages); empty
+    # dict when the run did not enable coalescing.
+    wire_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def avg_latency_ms(self) -> float:
@@ -121,6 +124,11 @@ class LyraCluster:
                     lambda_us=config.lambda_us,
                     check_dealing=config.check_dealing,
                     max_proposer_rate_per_s=config.max_proposer_rate_per_s,
+                    delta_piggyback=(
+                        config.delta_piggyback
+                        if config.delta_piggyback is not None
+                        else config.coalesce
+                    ),
                 ),
                 status_interval_us=config.status_interval_us,
                 warmup_rounds=config.warmup_rounds,
@@ -213,6 +221,8 @@ class LyraCluster:
         )
         if config.reliable_channels:
             self.network.enable_reliable()
+        if config.coalesce:
+            self.network.enable_coalescing(config.coalesce_window_us)
         for node in self.nodes:
             self.network.register(node, replica=True)
         for client in self.clients:
@@ -313,6 +323,8 @@ class LyraCluster:
         if self.network.reliable is not None:
             stats.update(self.network.reliable.stats.to_dict())
         result.fault_stats = stats
+        if self.network.wire_stats.frames_sent:
+            result.wire_stats = self.network.wire_stats.to_dict()
         if not skip_safety_check:
             outputs = {node.pid: node.output_sequence() for node in self.nodes}
             result.safety_violation = check_prefix_consistency(outputs)

@@ -199,13 +199,23 @@ class FaultDecision:
 
 @dataclass
 class FaultStats:
-    """Counters the chaos report surfaces after a run."""
+    """Counters the chaos report surfaces after a run.
+
+    ``duplicated``/``corrupted`` count *logical messages* hit at least
+    once: the reliable layer retransmits the same frame object until it is
+    acked, so without uid-level dedup a message corrupted on two physical
+    transmissions (or duplicated on a retransmit after its first copy was
+    already suppressed) would inflate the counts.  The raw per-transmission
+    event totals stay available as ``*_wire_events``.
+    """
 
     dropped: int = 0
     duplicated: int = 0
     reordered: int = 0
     corrupted: int = 0
     corrupt_detected: int = 0
+    duplicate_wire_events: int = 0
+    corrupt_wire_events: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -214,6 +224,8 @@ class FaultStats:
             "reordered": self.reordered,
             "corrupted": self.corrupted,
             "corrupt_detected": self.corrupt_detected,
+            "duplicate_wire_events": self.duplicate_wire_events,
+            "corrupt_wire_events": self.corrupt_wire_events,
         }
 
 
@@ -229,6 +241,10 @@ class FaultInjector:
         self.plan = plan
         self._rng = rng
         self.stats = FaultStats()
+        # uids of messages already counted in the per-message counters
+        # (retransmissions re-send the same Message object).
+        self._duplicated_uids: set = set()
+        self._corrupted_uids: set = set()
 
     def _stream(self, src: int, dst: int):
         return self._rng.get("faults", f"{src}->{dst}")
@@ -257,9 +273,15 @@ class FaultInjector:
             decision.extra_delay_us = 0
             return decision
         if decision.duplicate:
-            self.stats.duplicated += 1
+            self.stats.duplicate_wire_events += 1
+            if message.uid not in self._duplicated_uids:
+                self._duplicated_uids.add(message.uid)
+                self.stats.duplicated += 1
         if decision.corrupt:
-            self.stats.corrupted += 1
+            self.stats.corrupt_wire_events += 1
+            if message.uid not in self._corrupted_uids:
+                self._corrupted_uids.add(message.uid)
+                self.stats.corrupted += 1
         if decision.extra_delay_us:
             self.stats.reordered += 1
         return decision

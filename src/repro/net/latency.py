@@ -90,6 +90,15 @@ class LatencyModel:
         """Jitter-free base latency (used by distance-prediction tests)."""
         raise NotImplementedError
 
+    def one_way_block(self, src: int, dsts) -> List[int]:
+        """Batch form of :meth:`one_way_us` over several destinations.
+
+        The default samples scalar-wise in destination order, so any model
+        stays bit-identical whether the network fans out one call at a time
+        or in a block; subclasses override it purely for speed."""
+        one_way_us = self.one_way_us
+        return [one_way_us(src, dst) for dst in dsts]
+
 
 class UniformLatencyModel(LatencyModel):
     """Constant latency between every pair — the unit-test workhorse."""
@@ -131,8 +140,11 @@ class GeoLatencyModel(LatencyModel):
         # Jitter draws are batched: numpy's Generator fills a size-n request
         # with exactly the same variates as n scalar calls, so refilling a
         # buffer keeps the stream bit-identical while amortising the per-call
-        # numpy dispatch overhead.
-        self._noise_buf = np.empty(0)
+        # numpy dispatch overhead.  The buffer is converted to a plain list
+        # (``tolist`` preserves every float64 bit-exactly) because indexing a
+        # list yields Python floats whose arithmetic is several times faster
+        # than numpy scalars on this per-message path.
+        self._noise_buf: List[float] = []
         self._noise_pos = 0
         self._noise_sigma = self.jitter
 
@@ -158,13 +170,60 @@ class GeoLatencyModel(LatencyModel):
             return base
         pos = self._noise_pos
         if pos >= len(self._noise_buf) or self._noise_sigma != jitter:
-            self._noise_buf = self._rng.normal(0.0, jitter, 1024)
+            self._noise_buf = self._rng.normal(0.0, jitter, 1024).tolist()
             self._noise_sigma = jitter
             pos = 0
         noise = self._noise_buf[pos]
         self._noise_pos = pos + 1
-        noise = max(-3 * jitter, min(3 * jitter, noise))
-        return max(int(base * 0.2), int(base * (1.0 + noise)))
+        if noise > (hi := 3 * jitter):
+            noise = hi
+        elif noise < -hi:
+            noise = -hi
+        sample = int(base * (1.0 + noise))
+        floor = int(base * 0.2)
+        return sample if sample > floor else floor
+
+    def one_way_block(self, src: int, dsts) -> List[int]:
+        """Sample ``one_way_us(src, d)`` for every ``d`` in ``dsts``.
+
+        Consumes the jitter stream in exactly the per-destination order of
+        the scalar method (self-destinations draw nothing), so broadcast
+        fan-outs that switch to this batch form keep runs bit-identical.
+        """
+        jitter = self.jitter
+        base_us = self.base_us
+        if jitter <= 0:
+            return [base_us(src, d) for d in dsts]
+        out = []
+        buf = self._noise_buf
+        pos = self._noise_pos
+        size = len(buf)
+        refill = self._rng.normal
+        hi = 3 * jitter
+        base_cache_get = self._base_cache.get
+        for dst in dsts:
+            base = base_cache_get((src, dst))
+            if base is None:
+                base = base_us(src, dst)
+            if dst == src:
+                out.append(base)
+                continue
+            if pos >= size or self._noise_sigma != jitter:
+                buf = self._noise_buf = refill(0.0, jitter, 1024).tolist()
+                self._noise_sigma = jitter
+                pos = 0
+                size = 1024
+            noise = buf[pos]
+            pos += 1
+            if noise > hi:
+                noise = hi
+            elif noise < -hi:
+                noise = -hi
+            sample = int(base * (1.0 + noise))
+            floor = int(base * 0.2)
+            out.append(sample if sample > floor else floor)
+        self._noise_pos = pos
+        return out
 
 
 __all__ = [

@@ -22,19 +22,51 @@ from __future__ import annotations
 from bisect import insort
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.adversary import NetworkAdversary, NullAdversary
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultInjector
 from repro.net.latency import LatencyModel, UniformLatencyModel
-from repro.net.message import Message
+from repro.net.message import BUNDLE_HEADER_BYTES, BUNDLE_KIND, Message
 from repro.net.reliable import ACK_KIND, FRAME_KIND, ReliableConfig, ReliableLayer
 from repro.sim.engine import MILLISECONDS, Simulator
 from repro.sim.process import SimProcess
 
 #: Hook signature: (time_us, src, dst, message) -> None
 TraceHook = Callable[[int, int, int, Message], None]
+
+
+@dataclass
+class WireStats:
+    """Coalescing-layer counters: logical messages vs physical frames."""
+
+    #: Logical messages that entered the coalescing layer.
+    messages_sent: int = 0
+    #: Physical frames actually put on the wire by flushes.
+    frames_sent: int = 0
+    #: Frames that carried more than one message.
+    bundles_sent: int = 0
+    #: Messages that travelled inside a multi-message frame.
+    messages_coalesced: int = 0
+    #: Flush passes that sent at least one frame.
+    flushes: int = 0
+
+    def coalescing_ratio(self) -> float:
+        """Average messages per physical frame (1.0 = no coalescing win)."""
+        if self.frames_sent == 0:
+            return 1.0
+        return self.messages_sent / self.frames_sent
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "messages_sent": self.messages_sent,
+            "frames_sent": self.frames_sent,
+            "bundles_sent": self.bundles_sent,
+            "messages_coalesced": self.messages_coalesced,
+            "flushes": self.flushes,
+            "coalescing_ratio": round(self.coalescing_ratio(), 4),
+        }
 
 
 @dataclass
@@ -79,11 +111,37 @@ class Network:
         self.bytes_delivered = 0
         self.unroutable_dropped = 0
         self.corrupt_dropped = 0
+        # Wire-frame coalescing (off by default; see ``enable_coalescing``).
+        self.wire_stats = WireStats()
+        self._coalesce = False
+        self._coalesce_window_us = 0
+        self._outboxes: Dict[Tuple[int, int], List[Message]] = {}
+        self._flush_scheduled = False
 
     def enable_reliable(self, config: Optional[ReliableConfig] = None) -> ReliableLayer:
         """Layer ack/retransmit channels over this network's links."""
         self.reliable = ReliableLayer(self, config)
         return self.reliable
+
+    def enable_coalescing(self, window_us: int = 0) -> None:
+        """Turn on link-level frame coalescing.
+
+        All messages emitted on one (src, dst) link during the same
+        simulated instant (``window_us == 0``) — or within ``window_us``
+        of the first enqueue (``window_us > 0``) — leave as one physical
+        frame: one delivery event, one latency/bandwidth draw, one
+        checksum, and one fault draw.  Fault semantics are per frame (a
+        dropped/corrupted frame takes every bundled message with it), and
+        flushes walk links in sorted-pid order so RNG draws stay
+        deterministic.  Reliable-layer frames and acks ride the same
+        bundles.
+        """
+        if self._coalesce:
+            return
+        self._coalesce = True
+        self._coalesce_window_us = int(window_us)
+        if self._coalesce_window_us == 0:
+            self.sim.add_end_of_instant_hook(self._flush_outboxes)
 
     # ------------------------------------------------------------------
     # Registration
@@ -172,6 +230,21 @@ class Network:
                     continue
                 reliable.send(src, dst, message)
             return attempts
+        if self._coalesce:
+            enqueue = self._enqueue_coalesced
+            for dst in self._replicas:
+                if dst == src and not include_self:
+                    continue
+                attempts += 1
+                if dst not in processes:
+                    self.unroutable_dropped += 1
+                    continue
+                enqueue(src, dst, message)
+            return attempts
+        if faults is None and type(self.adversary) is NullAdversary:
+            fast = self._broadcast_fast(src, message, include_self)
+            if fast >= 0:
+                return fast
         stamped = False
         schedule = self._schedule_delivery
         for dst in self._replicas:
@@ -198,11 +271,128 @@ class Network:
                 schedule(src, dst, message, 0)
         return attempts
 
+    def _broadcast_fast(self, src: int, message: Message, include_self: bool) -> int:
+        """Fan-out without per-destination model calls.
+
+        Applies when nothing perturbs the pipeline per destination — no
+        faults, a null adversary, and uniform NIC rates: the k-th egress
+        departure is then exactly ``first_departure + k * serialisation``
+        and the ingress delay is one shared value, so the per-destination
+        work collapses to one jitter draw (batched via ``one_way_block``,
+        preserving stream order) and one ``schedule``.  Returns -1 when the
+        preconditions do not hold and the general loop must run instead.
+        """
+        bandwidth = self.bandwidth
+        if bandwidth.enabled and isinstance(bandwidth._rates, dict):
+            return -1
+        if include_self or src not in self._replicas:
+            dsts = self._replicas
+        else:
+            dsts = [dst for dst in self._replicas if dst != src]
+        count = len(dsts)
+        if not count:
+            return 0
+        message.stamp_checksum()
+        sim = self.sim
+        now = sim._now
+        size = message.size
+        if bandwidth.enabled:
+            queue = bandwidth.egress(src)
+            ser = queue.serialisation_us(size)
+            free = queue._free_at
+            start = now if now > free else free
+            queue._free_at = start + count * ser
+            queue.bytes_total += count * size
+            ingress = bandwidth.ingress(src).serialisation_us(size)
+            delay = start - now + ser + ingress
+        else:
+            ser = 0
+            delay = 0
+        props = self.latency.one_way_block(src, dsts)
+        deliver = self._deliver_clean
+        items = []
+        for dst, prop in zip(dsts, props):
+            items.append((delay + prop, partial(deliver, src, dst, message)))
+            delay += ser
+        sim.schedule_block(items)
+        return count
+
+    # ------------------------------------------------------------------
+    # Wire-frame coalescing
+    # ------------------------------------------------------------------
+    def _enqueue_coalesced(self, src: int, dst: int, message: Message) -> None:
+        """Park ``message`` in the (src, dst) outbox until the flush."""
+        key = (src, dst)
+        box = self._outboxes.get(key)
+        if box is None:
+            box = self._outboxes[key] = []
+        box.append(message)
+        self.wire_stats.messages_sent += 1
+        if self._coalesce_window_us == 0:
+            self.sim.mark_instant_dirty()
+        elif not self._flush_scheduled:
+            # One shared flush event per burst: every message arriving
+            # within the window rides the same timer.
+            self._flush_scheduled = True
+            self.sim.schedule(self._coalesce_window_us, self._window_flush)
+
+    def _window_flush(self) -> None:
+        self._flush_scheduled = False
+        self._flush_outboxes()
+
+    def _flush_outboxes(self) -> None:
+        """Send every dirty link's outbox as one physical frame per link.
+
+        Links flush in sorted (src, dst) order so the fault/latency RNG
+        stream — and therefore the whole run — is deterministic.
+        """
+        boxes = self._outboxes
+        if not boxes:
+            return
+        self._outboxes = {}
+        self.wire_stats.flushes += 1
+        flush_link = self._flush_link
+        for key in sorted(boxes):
+            flush_link(key[0], key[1], boxes[key])
+
+    def _flush_link(self, src: int, dst: int, msgs: List[Message]) -> None:
+        stats = self.wire_stats
+        if len(msgs) == 1:
+            # A lone message needs no bundle wrapper: it IS the frame.
+            frame = msgs[0]
+        else:
+            frame = Message(
+                BUNDLE_KIND,
+                tuple(msgs),
+                BUNDLE_HEADER_BYTES + sum(m.size for m in msgs),
+            )
+            stats.bundles_sent += 1
+            stats.messages_coalesced += len(msgs)
+        stats.frames_sent += 1
+        frame.stamp_checksum()
+        if self.faults is not None:
+            # One fault draw per physical frame: dropping or corrupting the
+            # frame takes every bundled message with it.
+            decision = self.faults.decide(src, dst, frame, self.sim.now)
+            if decision.drop:
+                return
+            wire = frame
+            if decision.corrupt:
+                wire = FaultInjector.corrupted_copy(frame)
+            self._schedule_delivery(src, dst, wire, decision.extra_delay_us)
+            if decision.duplicate:
+                self._schedule_delivery(src, dst, frame.clone(), 0)
+        else:
+            self._schedule_delivery(src, dst, frame, 0)
+
     def _transmit(self, src: int, dst: int, message: Message) -> None:
         """Put one frame on the wire: stamp its checksum, apply link
         faults, and schedule each surviving copy's delivery."""
         if dst not in self._processes:
             self.unroutable_dropped += 1
+            return
+        if self._coalesce:
+            self._enqueue_coalesced(src, dst, message)
             return
         message.stamp_checksum()
         if self.faults is not None:
@@ -245,18 +435,72 @@ class Network:
         process = self._processes.get(dst)
         if process is None:
             return
-        if not message.verify_checksum():
+        checksum = message.checksum
+        if checksum and checksum != message.expected_checksum():
             # Damaged in flight: indistinguishable from loss at this layer.
+            # A damaged bundle loses every message it carried.
             self.corrupt_dropped += 1
             if self.faults is not None:
                 self.faults.stats.corrupt_detected += 1
+            return
+        if message.kind == BUNDLE_KIND:
+            self._deliver_bundle(src, dst, message, process)
             return
         if self.reliable is not None and message.kind in (FRAME_KIND, ACK_KIND):
             self.reliable.on_receive(src, dst, message, process)
             return
         if process.crashed:
             return
-        self.deliver_local(src, dst, message, process)
+        # ``deliver_local`` inlined — this is the per-message hot path.
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(self.sim.now, src, dst, message)
+        process.deliver(message, src)
+
+    def _deliver_bundle(
+        self, src: int, dst: int, bundle: Message, process: SimProcess
+    ) -> None:
+        """Unpack one coalesced frame at its destination.
+
+        Reliable-layer frames/acks are routed to the reliable layer (whose
+        acks go back through ``_transmit`` and therefore coalesce on the
+        return path); application messages are handed to the process in
+        one batch so the CPU model charges a single queueing decision for
+        the frame.
+        """
+        reliable = self.reliable
+        now = self.sim.now
+        trace_hooks = self._trace_hooks
+        batch: List[Message] = []
+        for inner in bundle.payload:
+            if reliable is not None and inner.kind in (FRAME_KIND, ACK_KIND):
+                reliable.on_receive(src, dst, inner, process)
+            elif not process.crashed:
+                self.messages_delivered += 1
+                self.bytes_delivered += inner.size
+                if trace_hooks:
+                    for hook in trace_hooks:
+                        hook(now, src, dst, inner)
+                batch.append(inner)
+        if batch and not process.crashed:
+            process.deliver_batch(batch, src)
+
+    def _deliver_clean(self, src: int, dst: int, message: Message) -> None:
+        """Delivery for fast-path broadcasts: the checksum was stamped by
+        the sender an instant ago and no fault injector exists on this
+        path, so re-verifying it (and sniffing for reliable-layer frames,
+        which imply a fault injector) would be pure overhead."""
+        process = self._processes.get(dst)
+        if process is None or process.crashed:
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(self.sim.now, src, dst, message)
+        process.deliver(message, src)
 
     def deliver_local(
         self, src: int, dst: int, message: Message, process: SimProcess

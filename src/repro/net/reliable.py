@@ -18,6 +18,19 @@ between :meth:`SimProcess.send` and the lossy :class:`Network`:
 
 All timers run on the simulator, all state is keyed by (src, dst), and no
 randomness is used, so runs stay bit-deterministic.
+
+Interaction with link-level coalescing: every physical transmission this
+layer makes — first sends, retransmissions, and acks — goes through
+:meth:`Network._transmit`, which is the same gate application traffic
+uses.  When the network has coalescing enabled, those frames and acks
+land in the per-(src, dst) outbox and ride the same wire bundles as
+everything else destined for that link in the same window: an ack
+travelling back to a sender piggybacks on whatever data frames the
+receiver owes that peer.  Fault decisions then apply per *bundle*, so a
+corrupted bundle fails every inner frame's checksum at once and each is
+retransmitted individually after its own timeout.  This layer needs no
+special casing for any of that; the regression tests in
+``tests/test_reliable.py`` (``TestCoalescedFrames``) pin the behaviour.
 """
 
 from __future__ import annotations
@@ -164,6 +177,10 @@ class ReliableLayer:
         self._transmit(src, dst, link, pending)
 
     def _transmit(self, src: int, dst: int, link: _SenderLink, pending: _Pending) -> None:
+        # Retransmissions re-send the *same* frame object: its uid is
+        # stable across attempts, which is what lets FaultInjector count
+        # a corrupted-then-retransmitted message once, and what lets a
+        # coalescing outbox treat the retry like any other queued frame.
         self.stats.frames_sent += 1
         self.network._transmit(src, dst, pending.frame)
         pending.event = self.network.sim.schedule(
@@ -213,7 +230,9 @@ class ReliableLayer:
         if not isinstance(seq, int) or inner is None:
             return
         # Ack every receipt — the original ack may have been lost, and the
-        # sender will retransmit until one gets through.
+        # sender will retransmit until one gets through.  Under coalescing
+        # this ack joins the (dst, src) outbox and shares a wire bundle
+        # with any reverse-direction data frames queued this instant.
         self.stats.acks_sent += 1
         self.network._transmit(dst, src, Message(ACK_KIND, {"seq": seq}, ACK_BYTES))
         receiver = self._receivers.setdefault((src, dst), _ReceiverLink())

@@ -88,14 +88,24 @@ class Simulator:
         self._times: List[int] = []
         #: timestamp -> events at that time, kept sorted by (priority, seq).
         self._buckets: Dict[int, List[Event]] = {}
-        #: Cursor into the bucket currently being drained (consumed prefix).
-        self._bucket_pos: Dict[int, int] = {}
+        #: Cursor into the bucket currently being drained.  Only the head
+        #: bucket ever has a consumed prefix (events at earlier times are
+        #: gone, events at later times have not started), so two scalars
+        #: replace the old per-timestamp position dict.
+        self._head_time: int = -1
+        self._head_pos: int = 0
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
         self._processed: int = 0
         #: Live count of queued events (kept O(1); see ``pending``).
         self._pending: int = 0
+        #: End-of-instant hooks: run whenever the loop is about to advance
+        #: past the current timestamp while the dirty flag is set.  The
+        #: coalescing layer uses this to flush per-link outboxes exactly
+        #: once per simulated instant (see ``add_end_of_instant_hook``).
+        self._instant_hooks: List[Callable[[], None]] = []
+        self._instant_dirty = False
 
     # ------------------------------------------------------------------
     # Clock
@@ -149,9 +159,38 @@ class Simulator:
             # with priority >= the tail keeps the bucket sorted.
             bucket.append(event)
         else:
-            insort(bucket, event, lo=self._bucket_pos.get(when, 0), key=_EVENT_KEY)
+            lo = self._head_pos if when == self._head_time else 0
+            insort(bucket, event, lo=lo, key=_EVENT_KEY)
         self._pending += 1
         return event
+
+    def schedule_block(self, items: List) -> None:
+        """Schedule many ``(delay, callback)`` pairs at priority 0.
+
+        The per-event bookkeeping (bucket/heap lookups, the pending
+        counter) is hoisted out of the loop; delays must be non-negative —
+        callers on this path (broadcast fan-out) guarantee it by
+        construction, so the guard of :meth:`schedule` is skipped.
+        """
+        now = self._now
+        times = self._times
+        buckets = self._buckets
+        counter = self._counter
+        head_time = self._head_time
+        head_pos = self._head_pos
+        for delay, callback in items:
+            when = now + delay
+            event = Event(when, 0, next(counter), callback)
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [event]
+                heapq.heappush(times, when)
+            elif bucket[-1].priority <= 0:
+                bucket.append(event)
+            else:
+                lo = head_pos if when == head_time else 0
+                insort(bucket, event, lo=lo, key=_EVENT_KEY)
+        self._pending += len(items)
 
     def schedule_at(
         self,
@@ -168,41 +207,64 @@ class Simulator:
         return self.schedule(when - self._now, callback, priority=priority)
 
     # ------------------------------------------------------------------
+    # End-of-instant hooks
+    # ------------------------------------------------------------------
+    def add_end_of_instant_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run when the loop is about to leave the
+        current timestamp (or the queue empties) while the instant is
+        marked dirty.  Hooks fire *before* the ``until`` horizon check, so
+        work emitted at the final instant of a bounded ``run`` is still
+        flushed.  Hooks may schedule new events and re-mark the instant."""
+        self._instant_hooks.append(hook)
+
+    def mark_instant_dirty(self) -> None:
+        """Request an end-of-instant hook pass before time next advances."""
+        self._instant_dirty = True
+
+    def _run_instant_hooks(self) -> None:
+        self._instant_dirty = False
+        for hook in self._instant_hooks:
+            hook()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _next_event(self) -> Optional[Event]:
         """Peek the next live event, discarding drained buckets and
-        cancelled bucket heads along the way.  On return the cursor of the
-        head bucket points at the returned event, so the caller can consume
-        it by advancing ``_bucket_pos`` once (see ``run``/``step``)."""
+        cancelled bucket heads along the way.  On return the head cursor
+        points at the returned event, so the caller can consume it by
+        advancing ``_head_pos`` once (see ``run``/``step``)."""
         times = self._times
         buckets = self._buckets
-        positions = self._bucket_pos
         while times:
             t = times[0]
             bucket = buckets[t]
-            pos = start = positions.get(t, 0)
+            pos = start = self._head_pos if t == self._head_time else 0
             size = len(bucket)
             while pos < size and bucket[pos].cancelled:
                 pos += 1
             if pos != start:
                 self._pending -= pos - start
             if pos < size:
-                positions[t] = pos
+                self._head_time = t
+                self._head_pos = pos
                 return bucket[pos]
             heapq.heappop(times)
             del buckets[t]
-            positions.pop(t, None)
+            self._head_time = -1
         return None
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
         event = self._next_event()
+        while self._instant_dirty and (event is None or event.time > self._now):
+            self._run_instant_hooks()
+            event = self._next_event()
         if event is None:
             return False
         if event.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event queue yielded an event in the past")
-        self._bucket_pos[event.time] += 1
+        self._head_pos += 1
         self._pending -= 1
         self._now = event.time
         self._processed += 1
@@ -222,16 +284,43 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
-        # The peek in ``_next_event`` leaves the cursor on the event, so the
-        # hot loop consumes it inline instead of re-peeking via ``step`` —
-        # the old peek-then-step shape called ``_next_event`` twice per event.
-        next_event = self._next_event
-        positions = self._bucket_pos
+        # The peek logic of ``_next_event`` is inlined below: at ~2 events
+        # per delivered message the loop body dominates runs, and the
+        # extra call frame plus attribute traffic showed up in profiles.
+        times = self._times
+        buckets = self._buckets
+        limit = max_events if max_events is not None else float("inf")
         try:
-            while not self._stopped:
-                if max_events is not None and executed >= max_events:
-                    break
-                event = next_event()
+            while not self._stopped and executed < limit:
+                event = None
+                while times:
+                    t = times[0]
+                    bucket = buckets[t]
+                    pos = start = self._head_pos if t == self._head_time else 0
+                    size = len(bucket)
+                    while pos < size:
+                        ev = bucket[pos]
+                        if not ev.cancelled:
+                            event = ev
+                            break
+                        pos += 1
+                    if pos != start:
+                        self._pending -= pos - start
+                        self._head_time = t
+                        self._head_pos = pos
+                    if event is not None:
+                        break
+                    heapq.heappop(times)
+                    del buckets[t]
+                    self._head_time = -1
+                # Flush coalescing outboxes before the clock leaves this
+                # instant — and before the ``until`` horizon check, so a
+                # burst at the boundary still goes out.
+                if self._instant_dirty and (
+                    event is None or event.time > self._now
+                ):
+                    self._run_instant_hooks()
+                    continue
                 if event is None:
                     if until is not None and self._now < until:
                         self._now = until
@@ -240,12 +329,34 @@ class Simulator:
                 if until is not None and when > until:
                     self._now = until
                     break
-                positions[when] += 1
-                self._pending -= 1
+                # Drain the whole bucket inline: while ``now == when`` no
+                # callback can schedule anything earlier (delays are
+                # non-negative), so this bucket stays at the heap head
+                # until exhausted and the heap/dict lookups above need not
+                # repeat per event.
                 self._now = when
-                self._processed += 1
-                event.callback()
-                executed += 1
+                self._head_time = when
+                while True:
+                    self._head_pos = pos + 1
+                    self._pending -= 1
+                    self._processed += 1
+                    event.callback()
+                    executed += 1
+                    if self._stopped or executed >= limit:
+                        break
+                    pos += 1
+                    size = len(bucket)  # callbacks may have appended
+                    event = None
+                    while pos < size:
+                        ev = bucket[pos]
+                        if not ev.cancelled:
+                            event = ev
+                            break
+                        pos += 1
+                        self._pending -= 1
+                    if event is None:
+                        self._head_pos = pos
+                        break
         finally:
             self._running = False
         return executed

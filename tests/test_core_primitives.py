@@ -212,3 +212,41 @@ class TestMempool:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             Mempool(0)
+
+
+class TestMempoolRequeue:
+    def test_requeue_preserves_order_and_dedup(self):
+        # A rejected batch comes back at the queue head, in order, with
+        # its dedup keys still registered (no double-submission window).
+        pool = Mempool(3)
+        txs = [Transaction(0, i) for i in range(3)]
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.take_batch()
+        pool.requeue(batch)
+        assert not pool.add(txs[0])
+        assert pool.duplicates_dropped == 1
+        assert [t.nonce for t in pool.take_batch()] == [0, 1, 2]
+
+    def test_requeue_goes_ahead_of_new_arrivals(self):
+        pool = Mempool(2)
+        pool.add(Transaction(0, 0))
+        pool.add(Transaction(0, 1))
+        rejected = pool.take_batch()
+        pool.add(Transaction(0, 2))
+        pool.requeue(rejected)
+        # The re-proposal precedes traffic that arrived after rejection.
+        assert [t.nonce for t in pool.take_batch()] == [0, 1]
+        assert [t.nonce for t in pool.take_batch()] == [2]
+
+    def test_drop_committed_then_resubmit_is_single_copy(self):
+        # After commit the dedup key is released; a resubmission enters
+        # exactly once, and the queue never holds two live copies.
+        pool = Mempool(10)
+        tx = Transaction(0, 0)
+        pool.add(tx)
+        pool.take_batch()
+        pool.drop_committed([tx])
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1

@@ -232,3 +232,42 @@ class TestInstanceGc:
         before = len(node._instances)
         node._dispatch_instance(VOTE0_KIND, {"iid": iid, "seq": 1}, sender=1)
         assert len(node._instances) == before  # not resurrected
+
+
+class TestBatchFlushRequeueInteraction:
+    def test_requeued_txs_flushed_by_timer(self):
+        # A rejected batch put back via requeue must ride the next
+        # batch-flush tick — re-proposal needs no new client traffic.
+        sim, nodes, net = build_pair(costs=FREE_COSTS)
+        node = nodes[0]
+        node.start()
+        sim.run(until=1_000_000)
+        node.submit(Transaction(9, 0))
+        node.mempool.requeue(node.mempool.take_batch())
+        before = node.stats.batches_proposed
+        sim.run(until=sim.now + node.config.batch_timeout_us + 1000)
+        assert node.stats.batches_proposed == before + 1
+        assert node.mempool.duplicates_dropped == 0
+
+    def test_recovery_reproposal_neither_duplicates_nor_drops(self):
+        # Crash wipes the volatile mempool; after recovery a client
+        # retransmission of the same transaction must be accepted (not
+        # suppressed as a duplicate of pre-crash state) and proposed once
+        # by the re-armed batch-flush timer.
+        sim, nodes, net = build_pair(costs=FREE_COSTS)
+        node = nodes[0]
+        node.start()
+        sim.run(until=1_000_000)
+        node.submit(Transaction(9, 0))
+        node.crash()
+        node.recover()
+        assert len(node.mempool) == 0  # volatile state is gone
+        node.submit(Transaction(9, 0))  # retransmission accepted
+        assert len(node.mempool) == 1
+        node.submit(Transaction(9, 0))  # but only once
+        assert len(node.mempool) == 1
+        assert node.mempool.duplicates_dropped == 1
+        before = node.stats.batches_proposed
+        sim.run(until=sim.now + node.config.batch_timeout_us + 1000)
+        assert node.stats.batches_proposed == before + 1
+        assert len(node.mempool) == 0  # nothing dropped, nothing stuck

@@ -177,3 +177,76 @@ class TestChecksum:
     def test_unstamped_message_passes(self):
         # Local deliveries that never crossed the wire are not penalised.
         assert Message("x").verify_checksum()
+
+
+class TestCoalescedFrames:
+    def test_acks_piggyback_on_coalesced_frames(self):
+        # With coalescing on, a burst of reliable sends bundles the data
+        # frames into one physical frame, and the acks (all emitted at the
+        # delivery instant) coalesce on the return path the same way.
+        sim = Simulator()
+        net, (a, b) = build_net(sim)
+        net.enable_coalescing(0)
+        for i in range(5):
+            a.send(1, Message("m", {"i": i}))
+        sim.run()
+        assert [p["i"] for _, p, _ in b.got] == [0, 1, 2, 3, 4]
+        assert net.reliable.stats.delivered == 5
+        assert net.reliable.stats.acks_sent == 5
+        assert net.reliable.stats.retransmits == 0
+        ws = net.wire_stats
+        # One data bundle out, one ack bundle back.
+        assert ws.bundles_sent >= 2
+        assert ws.frames_sent < ws.messages_sent
+        assert ws.coalescing_ratio() > 1.0
+
+    def test_windowed_coalescing_delivers_exactly_once(self):
+        sim = Simulator()
+        net, (a, b) = build_net(sim)
+        net.enable_coalescing(500)
+        for i in range(8):
+            a.send(1, Message("m", {"i": i}))
+        sim.run()
+        assert [p["i"] for _, p, _ in b.got] == list(range(8))
+        assert net.reliable.stats.delivered == 8
+
+
+class TestFaultStatsCountOnce:
+    def test_corrupted_then_retransmitted_counts_once(self):
+        # Corrupt every transmission for the first 100 ms: the frame's
+        # first copy and its first retransmit are both damaged, the third
+        # attempt gets through.  The per-message counter must record one
+        # corrupted message; the wire-event counter records each hit.
+        sim = Simulator()
+        plan = FaultPlan(
+            links=(LinkFault(corrupt_rate=1.0, end_us=100 * MILLISECONDS),)
+        )
+        net, (a, b) = build_net(sim, plan=plan)
+        a.send(1, Message("m", {"i": 0}))
+        sim.run()
+        assert [p["i"] for _, p, _ in b.got] == [0]
+        stats = net.faults.stats
+        assert stats.corrupted == 1
+        assert stats.corrupt_wire_events >= 2
+        assert stats.corrupt_detected == stats.corrupt_wire_events
+
+    def test_duplicate_suppressed_retransmit_counts_once(self):
+        # Every data transmission is duplicated, and acks are dropped for
+        # the first 100 ms, forcing retransmits of an already-delivered
+        # frame.  The same logical frame draws "duplicate" on several
+        # physical transmissions but counts once per message.
+        sim = Simulator()
+        plan = FaultPlan(
+            links=(
+                LinkFault(duplicate_rate=1.0, dst=(1,)),
+                LinkFault(drop_rate=1.0, dst=(0,), end_us=100 * MILLISECONDS),
+            )
+        )
+        net, (a, b) = build_net(sim, plan=plan)
+        a.send(1, Message("m", {"i": 0}))
+        sim.run()
+        assert [p["i"] for _, p, _ in b.got] == [0]  # exactly once
+        stats = net.faults.stats
+        assert stats.duplicated == 1
+        assert stats.duplicate_wire_events >= 2
+        assert net.reliable.stats.dup_frames >= 1
