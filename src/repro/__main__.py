@@ -12,7 +12,8 @@ Usage::
     python -m repro byzantine       # §VI-D behaviours + censorship
     python -m repro obfuscation     # VSS vs hash commit-reveal
     python -m repro decomp          # latency decomposition + Δ sensitivity
-    python -m repro report          # write results/results.json + REPORT.md
+    python -m repro report          # phase-latency decomposition report
+    python -m repro report --outdir results   # legacy artefact bundle
     python -m repro all             # everything above (quick mode)
 
     python -m repro run --protocol pompe --n 7          # one cluster
@@ -148,9 +149,62 @@ def cmd_decomp(args) -> None:
 
 
 def cmd_report(args) -> None:
-    from repro.harness.artifacts import generate_report
+    """Observability report: the paper's per-phase latency decomposition
+    plus wire/fault/cache stats — from a fresh traced run, or from a
+    dumped trace JSONL.  With ``--outdir``, the legacy artefact generator
+    (results.json + REPORT.md) runs instead."""
+    if args.outdir is not None:
+        from repro.harness.artifacts import generate_report
 
-    generate_report(args.outdir)
+        generate_report(args.outdir)
+        return
+
+    from repro.metrics.report import render_run_report
+    from repro.metrics.spans import export_chrome_trace
+    from repro.metrics.tracelog import TraceLog
+
+    if args.trace_jsonl:
+        trace = TraceLog.load_jsonl(args.trace_jsonl)
+        print(
+            render_run_report(
+                trace=trace,
+                title=f"Trace report — {args.trace_jsonl}",
+                proposer_only=not args.all_nodes,
+            )
+        )
+        if args.export_chrome:
+            count = export_chrome_trace(trace, args.export_chrome)
+            print(f"wrote {count} chrome://tracing events to {args.export_chrome}")
+        return
+
+    from repro.harness.factory import build_cluster
+    from repro.sim.engine import MILLISECONDS
+
+    config = _config_from_args(args, args.n, args.seed)
+    config.tracing = True
+    config.metrics = True
+    if args.delay_ms is not None:
+        # The §III rig: uniform jitter-free links with Δ = one delay, so
+        # BOC's 3-message-delay decision bound is directly visible in the
+        # proposed->decided row.
+        config.uniform_delay_us = args.delay_ms * MILLISECONDS
+        config.delta_us = args.delay_ms * MILLISECONDS
+    cluster = build_cluster(config, protocol="lyra")
+    result = cluster.run()
+    print(
+        render_run_report(
+            trace=cluster.trace,
+            result=result,
+            title=f"Observability report — lyra n={args.n} seed={args.seed}",
+            proposer_only=not args.all_nodes,
+        )
+    )
+    if args.export_trace:
+        count = cluster.trace.dump_jsonl(args.export_trace)
+        print(f"wrote {count} trace events to {args.export_trace}")
+    if args.export_chrome:
+        count = export_chrome_trace(cluster.trace, args.export_chrome)
+        print(f"wrote {count} chrome://tracing events to {args.export_chrome}")
 
 
 def cmd_run(args) -> None:
@@ -252,6 +306,7 @@ def cmd_bench(args) -> None:
         macro_n=args.n,
         macro_duration_ms=args.duration_ms,
         coalesce=args.coalesce,
+        observability=args.observability,
     )
     out = args.out or default_output_path()
     path = write_report(report, out)
@@ -269,6 +324,28 @@ def cmd_bench(args) -> None:
         f"caches: digest hit-rate={digest.get('hit_rate', 0.0)} "
         f"signature-verify hit-rate={sig.get('hit_rate', 0.0)}"
     )
+    failed = False
+    if args.observability:
+        from repro.bench.suite import check_observability
+
+        obs_failures = check_observability(report)
+        if obs_failures:
+            print("\nBENCH OBSERVABILITY CHECK: FAIL")
+            for f in obs_failures:
+                print(f"  - {f}")
+            failed = True
+        else:
+            obs = report["macro"][f"{report['headline']}_observed"]
+            overhead = obs.get("overhead_vs_plain")
+            if overhead is None:
+                overhead = 1.0 - obs["events_per_s"] / max(
+                    1e-9, headline["events_per_s"]
+                )
+            print(
+                f"\nBENCH OBSERVABILITY CHECK: PASS "
+                f"(paired overhead {overhead * 100:+.1f}%, "
+                f"digest identical)"
+            )
     if args.check_against:
         import json as _json
 
@@ -280,8 +357,11 @@ def cmd_bench(args) -> None:
             print(f"\nBENCH CHECK vs {args.check_against}: FAIL")
             for f in failures:
                 print(f"  - {f}")
-            raise SystemExit(1)
-        print(f"\nBENCH CHECK vs {args.check_against}: PASS")
+            failed = True
+        else:
+            print(f"\nBENCH CHECK vs {args.check_against}: PASS")
+    if failed:
+        raise SystemExit(1)
 
 
 def cmd_sweep(args) -> None:
@@ -369,8 +449,49 @@ def main(argv=None) -> int:
     sub.add_parser("byzantine").set_defaults(fn=cmd_byzantine)
     sub.add_parser("obfuscation").set_defaults(fn=cmd_obfuscation)
     sub.add_parser("decomp").set_defaults(fn=cmd_decomp)
-    pr = sub.add_parser("report")
-    pr.add_argument("--outdir", default="results")
+    pr = sub.add_parser(
+        "report",
+        help="per-phase latency decomposition + wire/fault/cache stats",
+    )
+    pr.add_argument(
+        "--outdir",
+        default=None,
+        help="legacy mode: write results/results.json + REPORT.md here "
+        "instead of the observability report",
+    )
+    pr.add_argument("--n", type=int, default=4, help="cluster size")
+    pr.add_argument("--seed", type=int, default=1)
+    pr.add_argument(
+        "--delay-ms",
+        type=int,
+        default=None,
+        help="uniform jitter-free one-way link delay in ms (makes the "
+        "proposed->decided p50 checkable against 3 message delays)",
+    )
+    pr.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="render from a dumped TraceLog JSONL instead of running",
+    )
+    pr.add_argument(
+        "--all-nodes",
+        action="store_true",
+        help="decompose phases at every node, not just each proposer",
+    )
+    pr.add_argument(
+        "--export-trace",
+        default=None,
+        metavar="PATH",
+        help="dump the run's TraceLog as JSONL",
+    )
+    pr.add_argument(
+        "--export-chrome",
+        default=None,
+        metavar="PATH",
+        help="export spans in chrome://tracing JSON format",
+    )
+    _add_config_flags(pr)
     pr.set_defaults(fn=cmd_report)
 
     prun = sub.add_parser("run", help="run one cluster via the factory")
@@ -433,6 +554,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="also run *_coalesced macro cells (wire coalescing + delta "
         "piggybacks on; the classic cells still run for digest checks)",
+    )
+    pbench.add_argument(
+        "--observability",
+        action="store_true",
+        help="also run a tracing+metrics headline cell and fail on >5% "
+        "events/sec overhead or decided-prefix digest drift",
     )
     pbench.add_argument(
         "--max-slowdown",

@@ -184,10 +184,56 @@ class LyraNode(SimProcess):
         #: Optional protocol tracer: (kind, iid, **detail) -> None
         #: (see repro.metrics.tracelog.install_lyra_tracing).
         self.tracer: Optional[Callable] = None
+        # Metrics (see ``enable_metrics``): one bool guard on the hot
+        # paths; phase timestamps only accumulate when enabled.
+        self._metrics_on = False
+        self._decided_at: Dict[InstanceId, int] = {}
+        self._committed_at: Dict[InstanceId, int] = {}
 
     def _trace(self, kind: str, iid: Optional[InstanceId] = None, **detail) -> None:
         if self.tracer is not None:
             self.tracer(kind, iid, **detail)
+
+    def enable_metrics(self, registry) -> None:
+        """Emit into a :class:`~repro.metrics.registry.MetricsRegistry`.
+
+        Creates push handles for the paper's phase decomposition — BOC
+        decision time at the proposer, Commit-protocol lag and reveal
+        time at every replica — plus accept/reject and commit-wave
+        counters, and registers ``NodeStats`` (and commit-state depth)
+        as a scrape source.  Call before ``start()``.  Never schedules
+        events or draws randomness, so runs stay bit-identical.
+        """
+        pid = self.pid
+        self._metrics_on = True
+        self._m_decide_us = registry.histogram("boc", "decide_us", pid)
+        self._m_commit_lag_us = registry.histogram("commit", "lag_us", pid)
+        self._m_reveal_us = registry.histogram("reveal", "exec_us", pid)
+        self._m_e2e_us = registry.histogram("commit", "e2e_us", pid)
+        self._m_accepted = registry.counter("boc", "decided_accept", pid)
+        self._m_rejected = registry.counter("boc", "decided_reject", pid)
+        self._m_waves = registry.counter("commit", "waves", pid)
+        self._m_dshares = registry.counter("reveal", "dshare_batches", pid)
+        registry.add_source("node", self._metrics_source, pid)
+
+    def _metrics_source(self) -> Dict[str, float]:
+        """Scraped at registry snapshot time, never on the hot path."""
+        stats = self.stats
+        out: Dict[str, float] = {
+            "batches_proposed": stats.batches_proposed,
+            "batches_committed_own": stats.batches_committed_own,
+            "txs_executed": stats.txs_executed,
+            "replayed_txs_dropped": stats.replayed_txs_dropped,
+            "instances_joined": stats.instances_joined,
+            "messages_received": self.messages_received,
+            "recoveries": self.recoveries,
+            "incarnation": self.incarnation,
+        }
+        if self.commit is not None:
+            out["committed_log_len"] = len(self.commit.output_log)
+            out["accepted_instances"] = self.commit.accepted_count
+            out["rejected_instances"] = self.commit.rejected_count
+        return out
 
     # ------------------------------------------------------------------
     # Wiring
@@ -559,6 +605,8 @@ class LyraNode(SimProcess):
         self._s_ref.pop(iid, None)
         self._proposed_at.pop(iid, None)
         self._preds.pop(iid, None)
+        self._decided_at.pop(iid, None)
+        self._committed_at.pop(iid, None)
 
     def _schedule_gc(self, iid: InstanceId) -> None:
         linger = 10 * self.services.delta_us
@@ -593,6 +641,12 @@ class LyraNode(SimProcess):
         self, iid: InstanceId, v: int, m: Optional[Tuple[Any, Tuple[int, ...]]]
     ) -> None:
         self._trace("decided", iid, value=v)
+        if self._metrics_on:
+            (self._m_accepted if v == 1 else self._m_rejected).inc()
+            self._decided_at[iid] = self.sim.now
+            proposed = self._proposed_at.get(iid)
+            if proposed is not None:
+                self._m_decide_us.observe(self.sim.now - proposed)
         if v == 1:
             self._own_batches.pop(iid, None)
             if m is None:
@@ -614,6 +668,14 @@ class LyraNode(SimProcess):
     # Commit-reveal (Algorithm 4 lines 89-95)
     # ------------------------------------------------------------------
     def _on_commit_wave(self, wave: List[AcceptedEntry]) -> None:
+        if self._metrics_on:
+            self._m_waves.inc()
+            now = self.sim.now
+            for entry in wave:
+                self._committed_at[entry.instance] = now
+                decided = self._decided_at.get(entry.instance)
+                if decided is not None:
+                    self._m_commit_lag_us.observe(now - decided)
         for entry in wave:
             self._trace("committed", entry.instance, seq=entry.seq)
             if entry.instance.proposer == self.pid:
@@ -623,6 +685,8 @@ class LyraNode(SimProcess):
                     self.stats.own_batch_latencies_us.append(self.sim.now - proposed)
         items = self.commit.decryption_shares_for(wave)
         if items:
+            if self._metrics_on:
+                self._m_dshares.inc()
             self.services.broadcast(
                 DSHARE_KIND,
                 {"items": tuple(items)},
@@ -658,6 +722,14 @@ class LyraNode(SimProcess):
             self.stats.replayed_txs_dropped += len(batch.txs) - len(fresh)
         batch = Batch(batch.proposer, batch.batch_no, fresh)
         self._trace("executed", entry.instance, txs=len(batch), seq=entry.seq)
+        if self._metrics_on:
+            now = self.sim.now
+            committed = self._committed_at.pop(entry.instance, None)
+            if committed is not None:
+                self._m_reveal_us.observe(now - committed)
+            proposed = self._proposed_at.get(entry.instance)
+            if proposed is not None:
+                self._m_e2e_us.observe(now - proposed)
         self._schedule_gc(entry.instance)
         self.stats.txs_executed += len(batch)
         for tx in batch.txs:
@@ -701,6 +773,8 @@ class LyraNode(SimProcess):
         self._awaiting_message.clear()
         self._s_ref.clear()
         self._proposed_at.clear()
+        self._decided_at.clear()
+        self._committed_at.clear()
         self._preds.clear()
         self._own_batches.clear()
         self._tx_origin.clear()

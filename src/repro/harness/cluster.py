@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import gc
 import statistics
+import time
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -23,9 +24,11 @@ from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import ThresholdScheme
 from repro.harness.config import ExperimentConfig
 from repro.metrics.invariants import InvariantWatchdog
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracelog import TraceLog, install_lyra_tracing
 from repro.net.adversary import NullAdversary, PartialSynchronyAdversary
 from repro.net.faults import FaultInjector
-from repro.net.latency import GeoLatencyModel
+from repro.net.latency import GeoLatencyModel, UniformLatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
 from repro.sim.engine import SECONDS, Simulator
@@ -62,6 +65,18 @@ class ExperimentResult:
     # Link-level coalescing counters (frames vs logical messages); empty
     # dict when the run did not enable coalescing.
     wire_stats: Dict[str, Any] = field(default_factory=dict)
+    # Observability: the metrics-registry snapshot of the run (empty dict
+    # unless ``ExperimentConfig.metrics`` was on).  Plain JSON, so it
+    # crosses sweep worker boundaries and the on-disk result cache.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    # Wall-clock seconds spent inside the event loop proper (excludes
+    # post-run consolidation: snapshotting, safety checks).  The bench
+    # suite's events/sec — and the observability overhead gate — divide
+    # by this, so one-off reporting costs don't pollute a hot-path
+    # throughput measure.  Host timing, not a simulation result: it is
+    # excluded from to_dict() and from equality so serialized results —
+    # and result comparisons — stay deterministic.
+    sim_wall_s: float = field(default=0.0, compare=False)
 
     @property
     def avg_latency_ms(self) -> float:
@@ -72,8 +87,16 @@ class ExperimentResult:
     # across worker process boundaries.
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        """JSON-serialisable representation (round-trips via from_dict)."""
-        return asdict(self)
+        """JSON-serialisable representation (round-trips via from_dict).
+
+        Omits ``sim_wall_s``: host wall-clock varies run to run, and the
+        serialized form must be bit-identical for the same seed and
+        config (the sweep cache and the serial-vs-parallel determinism
+        oracle both diff these dicts directly).
+        """
+        data = asdict(self)
+        del data["sim_wall_s"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ExperimentResult":
@@ -188,9 +211,15 @@ class LyraCluster:
             )
 
         # Network.
-        latency = GeoLatencyModel(
-            self.topology.placement, jitter=config.jitter, rng=self.rng
-        )
+        if config.uniform_delay_us is not None:
+            # Jitter-free uniform links: every one-way hop costs exactly
+            # the configured delay, so phase decompositions are checkable
+            # against the paper's message-delay counts (3 for BOC).
+            latency = UniformLatencyModel(config.uniform_delay_us)
+        else:
+            latency = GeoLatencyModel(
+                self.topology.placement, jitter=config.jitter, rng=self.rng
+            )
         adversary = (
             PartialSynchronyAdversary(
                 config.gst_us,
@@ -234,6 +263,30 @@ class LyraCluster:
                 if ev.recover_at_us is not None:
                     self.sim.schedule_at(ev.recover_at_us, node.recover)
 
+        # Observability: span tracing over the node tracer hook, and the
+        # metrics registry every layer emits into.  Both off by default;
+        # neither draws randomness nor schedules events, so enabling them
+        # leaves the decided prefix bit-identical.
+        self.trace: Optional[TraceLog] = None
+        if config.tracing:
+            self.trace = install_lyra_tracing(self)
+        self.metrics: Optional[MetricsRegistry] = None
+        if config.metrics:
+            self.metrics = MetricsRegistry()
+            for node in self.nodes:
+                node.enable_metrics(self.metrics)
+            self.network.enable_link_stats()
+            self.metrics.add_source("wire", self._wire_source)
+            if self.fault_injector is not None:
+                self.metrics.add_source(
+                    "faults", self.fault_injector.stats.to_dict
+                )
+            if self.network.reliable is not None:
+                self.metrics.add_source(
+                    "channel", self.network.reliable.stats.to_dict
+                )
+            self.metrics.add_source("cache", self._cache_source)
+
         # Always-on invariant watchdog: prefix agreement, commit
         # regression, ordered output, and post-GST liveness.
         liveness_from = max(adversary.gst(), config.measurement_start_us())
@@ -257,6 +310,41 @@ class LyraCluster:
             node.on_executed = _hook
 
     # ------------------------------------------------------------------
+    # Metrics scrape sources (polled at snapshot time, never on hot paths)
+    # ------------------------------------------------------------------
+    def _wire_source(self) -> Dict[str, float]:
+        net = self.network
+        out: Dict[str, float] = {
+            "messages_delivered": net.messages_delivered,
+            "bytes_delivered": net.bytes_delivered,
+            "unroutable_dropped": net.unroutable_dropped,
+            "corrupt_dropped": net.corrupt_dropped,
+        }
+        if net.wire_stats.frames_sent:
+            out.update(net.wire_stats.to_dict())
+        return out
+
+    def _cache_source(self) -> Dict[str, float]:
+        from repro.crypto import feldman, hashing
+
+        layers: Dict[str, Dict[str, Any]] = {
+            "digest": hashing.digest_cache_stats(),
+            "feldman_verify": feldman.verify_cache_stats(),
+        }
+        if hasattr(self.registry, "verify_cache_stats"):
+            layers["signature_verify"] = self.registry.verify_cache_stats()
+        if hasattr(self.threshold, "verify_cache_stats"):
+            layers["threshold_verify"] = self.threshold.verify_cache_stats()
+        if hasattr(self.obf, "decrypt_cache_stats"):
+            layers["vss_decrypt"] = self.obf.decrypt_cache_stats()
+        out: Dict[str, float] = {}
+        for layer, stats in layers.items():
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    out[f"{layer}.{key}"] = value
+        return out
+
+    # ------------------------------------------------------------------
     def run(self, *, skip_safety_check: bool = False) -> ExperimentResult:
         """Run the configured duration and consolidate measurements."""
         cfg = self.config
@@ -270,9 +358,13 @@ class LyraCluster:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
+        loop_start = time.perf_counter()
         try:
             self.sim.run(until=cfg.duration_us)
+            if self.network.coalescing_enabled and self.network.pending_coalesced():
+                self._drain_coalesced(cfg.duration_us)
         finally:
+            sim_wall_s = time.perf_counter() - loop_start
             if gc_was_enabled:
                 gc.enable()
         self.watchdog.check_now()  # final end-of-run sample
@@ -296,6 +388,7 @@ class LyraCluster:
             events_processed=self.sim.events_processed,
             messages_delivered=self.network.messages_delivered,
             bytes_delivered=self.network.bytes_delivered,
+            sim_wall_s=sim_wall_s,
         )
         if latencies:
             result.avg_latency_us = float(statistics.fmean(latencies))
@@ -325,6 +418,12 @@ class LyraCluster:
         result.fault_stats = stats
         if self.network.wire_stats.frames_sent:
             result.wire_stats = self.network.wire_stats.to_dict()
+        if self.metrics is not None:
+            snap = self.metrics.snapshot()
+            link = self.network.link_stats()
+            if link:
+                snap["links"] = link
+            result.metrics = snap
         if not skip_safety_check:
             outputs = {node.pid: node.output_sequence() for node in self.nodes}
             result.safety_violation = check_prefix_consistency(outputs)
@@ -335,6 +434,28 @@ class LyraCluster:
                         result.safety_violation = f"pid {pid}: {err}"
                         break
         return result
+
+    def _drain_coalesced(self, horizon_us: int) -> None:
+        """Flush coalescing windows left open at the run horizon.
+
+        With ``coalesce_window_us > 0`` the shared per-burst flush timer
+        can land past ``duration_us``, which would strand messages in
+        their outboxes — commits in flight at the cutoff would silently
+        vanish.  Force-flush and give the protocol a bounded grace (in
+        Δ-sized steps, re-flushing between steps) so in-flight work
+        lands.  No-op for window-0 coalescing (end-of-instant hooks keep
+        outboxes empty) and for non-coalesced runs, whose event streams
+        — and decided-prefix digests — are therefore unchanged.
+        """
+        delta = self.network.delta_us
+        deadline = horizon_us + 10 * delta
+        while True:
+            self.network.drain_pending()
+            if self.sim.now >= deadline:
+                break
+            self.sim.run(until=min(self.sim.now + delta, deadline))
+            if not self.network.pending_coalesced():
+                break
 
     def _windowed_throughput(self, measure_from: int) -> float:
         """Committed-transaction throughput over the measurement window,

@@ -25,6 +25,10 @@ class ExperimentConfig:
 
     # Network.
     delta_us: int = 150 * MILLISECONDS
+    #: Replace the geo latency matrix with one uniform one-way delay (µs),
+    #: jitter-free.  Makes latency decompositions analytically checkable:
+    #: BOC should decide in 3 message delays of this value (§III).
+    uniform_delay_us: Optional[int] = None
     jitter: float = 0.015
     bandwidth_enabled: bool = True
     rate_bps: float = 1_000_000_000.0
@@ -77,6 +81,14 @@ class ExperimentConfig:
     #: the min-pending/accepted state changed, cheap "no change since seq
     #: k" markers otherwise.  ``None`` follows ``coalesce``.
     delta_piggyback: Optional[bool] = None
+
+    # Observability: span tracing (proposed → decided → committed →
+    # executed per instance, read via ``cluster.trace``) and the metrics
+    # registry (``ExperimentResult.metrics`` snapshot).  Both off by
+    # default; neither perturbs RNG streams or event timing, so enabling
+    # them leaves decided prefixes bit-identical.
+    tracing: bool = False
+    metrics: bool = False
 
     def resolved_f(self) -> int:
         if self.f is not None:

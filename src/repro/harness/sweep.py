@@ -187,6 +187,18 @@ class SweepReport:
     def results(self) -> List[ExperimentResult]:
         return [r.result for r in self.records if r.result is not None]
 
+    def aggregate_metrics(self) -> Dict[str, Any]:
+        """Merge the metrics-registry snapshots of every successful cell
+        (cells that ran without ``metrics=True`` contribute nothing).
+        Counters sum, gauges average, histogram summaries merge with
+        count-weighted percentiles — see
+        :func:`repro.metrics.registry.merge_snapshots`."""
+        from repro.metrics.registry import merge_snapshots
+
+        return merge_snapshots(
+            [r.metrics for r in self.results() if getattr(r, "metrics", None)]
+        )
+
 
 # ----------------------------------------------------------------------
 # Cache

@@ -13,7 +13,18 @@ from repro.metrics.capacity import (
     lyra_loaded_latency_us,
     pompe_loaded_latency_us,
 )
-from repro.metrics.tracelog import TraceLog, install_lyra_tracing
+from repro.metrics.tracelog import TraceLog, TraceEvent, install_lyra_tracing
+from repro.metrics.registry import (
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.metrics.spans import (
+    Span,
+    build_spans,
+    decompose_phases,
+    export_chrome_trace,
+)
+from repro.metrics.report import render_phase_table, render_run_report
 from repro.metrics.invariants import (
     InvariantReport,
     InvariantViolation,
@@ -34,7 +45,16 @@ __all__ = [
     "lyra_loaded_latency_us",
     "pompe_loaded_latency_us",
     "TraceLog",
+    "TraceEvent",
     "install_lyra_tracing",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "Span",
+    "build_spans",
+    "decompose_phases",
+    "export_chrome_trace",
+    "render_phase_table",
+    "render_run_report",
     "InvariantWatchdog",
     "InvariantReport",
     "InvariantViolation",

@@ -1,0 +1,154 @@
+"""Render observability data as terminal-friendly reports.
+
+``python -m repro report`` feeds a run's :class:`TraceLog` and
+:class:`~repro.harness.cluster.ExperimentResult` (or a dumped trace
+JSONL) through these renderers: the paper's per-phase latency
+decomposition first (proposed → decided → committed → executed, each
+with p50/p90/p99), then per-link wire and fault statistics, cache hit
+rates, and metrics-registry highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.spans import PHASE_PAIRS, decompose_phases
+from repro.metrics.stats import LatencySummary
+from repro.metrics.tracelog import TraceLog
+
+
+def _fmt_us(value: float) -> str:
+    return f"{value / 1000.0:10.2f}"
+
+
+def render_phase_table(decomp: Dict[str, LatencySummary]) -> str:
+    """The latency-decomposition table, all figures in milliseconds."""
+    lines = [
+        f"{'phase':<22} {'count':>7} {'mean_ms':>10} {'p50_ms':>10} "
+        f"{'p90_ms':>10} {'p99_ms':>10} {'max_ms':>10}",
+        "-" * 84,
+    ]
+    for phase in PHASE_PAIRS:
+        s = decomp.get(phase)
+        if s is None:
+            continue
+        lines.append(
+            f"{phase:<22} {s.count:>7} {_fmt_us(s.mean)} {_fmt_us(s.p50)} "
+            f"{_fmt_us(s.p90)} {_fmt_us(s.p99)} {_fmt_us(s.maximum)}"
+        )
+    if len(lines) == 2:
+        lines.append("(no complete phase spans in trace)")
+    return "\n".join(lines)
+
+
+def _render_counter_dict(title: str, stats: Dict[str, Any]) -> List[str]:
+    if not stats:
+        return []
+    lines = [f"## {title}"]
+    for key in sorted(stats):
+        lines.append(f"  {key:<32} {stats[key]}")
+    lines.append("")
+    return lines
+
+
+def _render_links(links: Dict[str, Dict[str, int]], limit: int = 12) -> List[str]:
+    if not links:
+        return []
+    lines = ["## Per-link deliveries (top by messages)"]
+    ranked = sorted(links.items(), key=lambda kv: -kv[1]["messages"])
+    for link, counts in ranked[:limit]:
+        lines.append(
+            f"  {link:<10} messages={counts['messages']:<10} bytes={counts['bytes']}"
+        )
+    if len(ranked) > limit:
+        lines.append(f"  ... and {len(ranked) - limit} more links")
+    lines.append("")
+    return lines
+
+
+def _render_registry(snapshot: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    hists = snapshot.get("histograms", {})
+    if hists:
+        lines.append("## Registry histograms (pooled across nodes, ms)")
+        for name in sorted(hists):
+            s = hists[name].get("all", {})
+            if not s.get("count"):
+                continue
+            lines.append(
+                f"  {name:<24} count={s['count']:<7} "
+                f"p50={s['p50'] / 1000.0:.2f} p90={s['p90'] / 1000.0:.2f} "
+                f"p99={s['p99'] / 1000.0:.2f}"
+            )
+        lines.append("")
+    counters = snapshot.get("counters", {})
+    cache_lines = []
+    other_lines = []
+    for name in sorted(counters):
+        total = counters[name].get("total", 0)
+        if name.startswith("cache."):
+            cache_lines.append(f"  {name:<40} {total}")
+        else:
+            other_lines.append(f"  {name:<40} {total}")
+    if other_lines:
+        lines.append("## Registry counters (totals across nodes)")
+        lines.extend(other_lines)
+        lines.append("")
+    if cache_lines:
+        lines.append("## Cache layers")
+        lines.extend(cache_lines)
+        lines.append("")
+    return lines
+
+
+def render_run_report(
+    *,
+    trace: Optional[TraceLog] = None,
+    result: Optional[Any] = None,
+    title: str = "Run report",
+    proposer_only: bool = True,
+) -> str:
+    """One full observability report.
+
+    ``trace`` drives the phase-latency decomposition; ``result`` (an
+    :class:`~repro.harness.cluster.ExperimentResult`) contributes the
+    headline figures, wire/fault stats and the registry snapshot.
+    Either may be omitted.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    if result is not None:
+        lines.append(
+            f"n={result.n_nodes} duration={result.duration_us / 1_000_000.0:.1f}s "
+            f"committed={result.committed_count} executed={result.executed_total} "
+            f"throughput={result.throughput_tps:.1f} tps "
+            f"avg_latency={result.avg_latency_ms:.1f} ms"
+        )
+        if result.safety_violation:
+            lines.append(f"SAFETY VIOLATION: {result.safety_violation}")
+        if result.invariant_violations:
+            lines.append(
+                f"INVARIANT VIOLATIONS ({len(result.invariant_violations)}): "
+                + "; ".join(result.invariant_violations[:3])
+            )
+        lines.append("")
+    if trace is not None and len(trace):
+        lines.append("## Phase latency decomposition"
+                     + (" (at proposer)" if proposer_only else " (all nodes)"))
+        lines.append(render_phase_table(decompose_phases(trace, proposer_only)))
+        lines.append("")
+        kinds = trace.kinds()
+        lines.append(
+            "trace events: "
+            + "  ".join(f"{k}={kinds[k]}" for k in sorted(kinds))
+        )
+        lines.append("")
+    if result is not None:
+        lines.extend(_render_counter_dict("Wire stats", result.wire_stats))
+        lines.extend(_render_counter_dict("Fault/channel stats", result.fault_stats))
+        snap = getattr(result, "metrics", None) or {}
+        lines.extend(_render_links(snap.get("links", {})))
+        lines.extend(_render_registry(snap))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+__all__ = ["render_phase_table", "render_run_report"]

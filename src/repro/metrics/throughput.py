@@ -36,15 +36,21 @@ class ThroughputWindow:
         return self.rate_tps(warmup_us, end_us)
 
     def timeline(self, bucket_us: int) -> List[Tuple[int, float]]:
-        """Per-bucket rates, for plotting throughput over time."""
+        """Per-bucket rates, for plotting throughput over time.
+
+        Covers every bucket between the first and last event, emitting
+        zero-rate entries for idle gaps — a stall must show up as a dip,
+        not vanish from the plot.
+        """
         if not self.events:
             return []
         buckets: dict = {}
         for t, c in self.events:
             buckets[t // bucket_us] = buckets.get(t // bucket_us, 0) + c
+        lo, hi = min(buckets), max(buckets)
         return [
-            (b * bucket_us, c * float(SECONDS) / bucket_us)
-            for b, c in sorted(buckets.items())
+            (b * bucket_us, buckets.get(b, 0) * float(SECONDS) / bucket_us)
+            for b in range(lo, hi + 1)
         ]
 
 

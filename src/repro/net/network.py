@@ -117,6 +117,12 @@ class Network:
         self._coalesce_window_us = 0
         self._outboxes: Dict[Tuple[int, int], List[Message]] = {}
         self._flush_scheduled = False
+        # Per-link delivery counters keyed by the packed pid pair
+        # ``(src << 20) | dst`` — an int key skips the per-message tuple
+        # allocation and tuple hash a ``(src, dst)`` key would cost.
+        # None until ``enable_link_stats`` so the delivery hot path pays
+        # only a None check when disabled.
+        self._link_stats: Optional[Dict[int, List[int]]] = None
 
     def enable_reliable(self, config: Optional[ReliableConfig] = None) -> ReliableLayer:
         """Layer ack/retransmit channels over this network's links."""
@@ -142,6 +148,59 @@ class Network:
         self._coalesce_window_us = int(window_us)
         if self._coalesce_window_us == 0:
             self.sim.add_end_of_instant_hook(self._flush_outboxes)
+
+    @property
+    def coalescing_enabled(self) -> bool:
+        return self._coalesce
+
+    def pending_coalesced(self) -> int:
+        """Messages parked in open coalescing windows, awaiting a flush."""
+        return sum(len(box) for box in self._outboxes.values())
+
+    def drain_pending(self) -> int:
+        """Force-flush every open coalescing window right now.
+
+        With ``coalesce_window_us > 0`` the shared flush timer can land
+        past the simulator's run horizon, leaving messages parked in
+        outboxes when the run stops — they must be flushed (and the
+        resulting deliveries given time to land), not silently dropped.
+        :meth:`LyraCluster.run` calls this in its end-of-run drain loop.
+        Returns the number of messages flushed.
+        """
+        pending = self.pending_coalesced()
+        if pending:
+            self._flush_outboxes()
+        return pending
+
+    def enable_link_stats(self) -> None:
+        """Track per-(src, dst) delivered message/byte counts.
+
+        Off by default: the delivery hot path then pays only a ``None``
+        check.  Snapshot with :meth:`link_stats`.
+        """
+        if self._link_stats is None:
+            self._link_stats = {}
+
+    def link_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-link delivery counters as ``{"src->dst": {messages, bytes}}``."""
+        if not self._link_stats:
+            return {}
+        return {
+            f"{key >> 20}->{key & 0xFFFFF}": {
+                "messages": counts[0],
+                "bytes": counts[1],
+            }
+            for key, counts in sorted(self._link_stats.items())
+        }
+
+    def _count_link(self, src: int, dst: int, size: int) -> None:
+        # Slow-path helper; the delivery hot paths inline this body.
+        try:
+            counts = self._link_stats[(src << 20) | dst]
+        except KeyError:
+            counts = self._link_stats[(src << 20) | dst] = [0, 0]
+        counts[0] += 1
+        counts[1] += size
 
     # ------------------------------------------------------------------
     # Registration
@@ -454,6 +513,16 @@ class Network:
         # ``deliver_local`` inlined — this is the per-message hot path.
         self.messages_delivered += 1
         self.bytes_delivered += message.size
+        stats = self._link_stats
+        if stats is not None:
+            # ``_count_link`` inlined: a per-message call is measurable
+            # against the observability overhead budget.
+            try:
+                counts = stats[(src << 20) | dst]
+            except KeyError:
+                counts = stats[(src << 20) | dst] = [0, 0]
+            counts[0] += 1
+            counts[1] += message.size
         if self._trace_hooks:
             for hook in self._trace_hooks:
                 hook(self.sim.now, src, dst, message)
@@ -473,6 +542,7 @@ class Network:
         reliable = self.reliable
         now = self.sim.now
         trace_hooks = self._trace_hooks
+        stats = self._link_stats
         batch: List[Message] = []
         for inner in bundle.payload:
             if reliable is not None and inner.kind in (FRAME_KIND, ACK_KIND):
@@ -480,6 +550,13 @@ class Network:
             elif not process.crashed:
                 self.messages_delivered += 1
                 self.bytes_delivered += inner.size
+                if stats is not None:
+                    try:
+                        counts = stats[(src << 20) | dst]
+                    except KeyError:
+                        counts = stats[(src << 20) | dst] = [0, 0]
+                    counts[0] += 1
+                    counts[1] += inner.size
                 if trace_hooks:
                     for hook in trace_hooks:
                         hook(now, src, dst, inner)
@@ -497,6 +574,14 @@ class Network:
             return
         self.messages_delivered += 1
         self.bytes_delivered += message.size
+        stats = self._link_stats
+        if stats is not None:
+            try:
+                counts = stats[(src << 20) | dst]
+            except KeyError:
+                counts = stats[(src << 20) | dst] = [0, 0]
+            counts[0] += 1
+            counts[1] += message.size
         if self._trace_hooks:
             for hook in self._trace_hooks:
                 hook(self.sim.now, src, dst, message)
@@ -509,6 +594,8 @@ class Network:
         updating delivery counters and firing trace hooks."""
         self.messages_delivered += 1
         self.bytes_delivered += message.size
+        if self._link_stats is not None:
+            self._count_link(src, dst, message.size)
         for hook in self._trace_hooks:
             hook(self.sim.now, src, dst, message)
         process.deliver(message, src)

@@ -10,6 +10,7 @@ from repro.bench.suite import (
     _run_macro_cell,
     _timed,
     check_against_baseline,
+    check_observability,
     default_output_path,
     prefix_digest,
     write_report,
@@ -166,3 +167,58 @@ class TestCheckAgainstBaseline:
     def test_tolerance_validated(self):
         with pytest.raises(ValueError):
             check_against_baseline(_report(), _report(), tolerance=1.5)
+
+
+def _observed_report(base_eps=1000.0, obs_eps=980.0, obs_prefix=None):
+    prefix = "ab" * 32
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "headline": "cell",
+        "macro": {
+            "cell": {"events_per_s": base_eps, "prefix_sha256": prefix},
+            "cell_observed": {
+                "events_per_s": obs_eps,
+                "prefix_sha256": obs_prefix if obs_prefix is not None else prefix,
+            },
+        },
+    }
+
+
+class TestCheckObservability:
+    def test_small_overhead_passes(self):
+        assert check_observability(_observed_report(obs_eps=960.0)) == []
+
+    def test_overhead_beyond_budget_fails(self):
+        failures = check_observability(_observed_report(obs_eps=900.0))
+        assert len(failures) == 1
+        assert "overhead" in failures[0]
+
+    def test_digest_drift_is_hard_failure(self):
+        failures = check_observability(
+            _observed_report(obs_eps=1000.0, obs_prefix="cd" * 32)
+        )
+        assert any("perturbed" in f for f in failures)
+
+    def test_missing_pair_reported(self):
+        report = _observed_report()
+        del report["macro"]["cell_observed"]
+        failures = check_observability(report)
+        assert len(failures) == 1 and "pair" in failures[0]
+
+    def test_custom_budget(self):
+        report = _observed_report(obs_eps=900.0)  # 10% overhead
+        assert check_observability(report, max_overhead=0.15) == []
+
+    def test_paired_estimate_preferred_over_eps(self):
+        # The paired estimator, when present, decides the gate even when
+        # the single-sample events/sec comparison would say otherwise.
+        report = _observed_report(obs_eps=900.0)  # naive eps: 10% over
+        report["macro"]["cell_observed"]["overhead_vs_plain"] = 0.02
+        assert check_observability(report) == []
+
+    def test_paired_estimate_beyond_budget_fails(self):
+        report = _observed_report(obs_eps=990.0)  # naive eps: 1% over
+        report["macro"]["cell_observed"]["overhead_vs_plain"] = 0.08
+        failures = check_observability(report)
+        assert len(failures) == 1
+        assert "paired" in failures[0]

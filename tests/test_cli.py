@@ -42,3 +42,42 @@ class TestCli:
         assert main(["report", "--outdir", outdir]) == 0
         assert (tmp_path / "r" / "REPORT.md").exists()
         assert (tmp_path / "r" / "results.json").exists()
+
+    def test_report_fresh_run_prints_phase_table(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        chrome_path = str(tmp_path / "trace.json")
+        assert (
+            main(
+                [
+                    "report",
+                    "--duration-ms",
+                    "1500",
+                    "--export-trace",
+                    trace_path,
+                    "--export-chrome",
+                    chrome_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Phase latency decomposition" in out
+        assert "proposed->decided" in out
+        assert "trace events:" in out
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "trace.json").exists()
+
+    def test_report_from_trace_jsonl(self, tmp_path, capsys):
+        from repro.metrics.tracelog import TraceLog
+
+        log = TraceLog()
+        for t, kind in zip(
+            (0, 300, 500, 600), ("proposed", "decided", "committed", "executed")
+        ):
+            log.record(t, 0, kind, (0, 0))
+        path = str(tmp_path / "trace.jsonl")
+        log.dump_jsonl(path)
+        assert main(["report", "--trace-jsonl", path]) == 0
+        out = capsys.readouterr().out
+        assert "proposed->decided" in out
+        assert "total" in out

@@ -69,6 +69,27 @@ class TestThroughputWindow:
         line = w.timeline(10)
         assert line[0][0] == 0 and line[1][0] == 10
 
+    def test_timeline_zero_fills_gaps(self):
+        """Buckets with no events must appear with rate 0, not vanish —
+        a stall plotted from the timeline has to show as a dip."""
+        w = ThroughputWindow()
+        w.record(0, 1)
+        w.record(5, 1)
+        w.record(35, 1)
+        line = w.timeline(10)
+        assert [start for start, _ in line] == [0, 10, 20, 30]
+        assert line[1][1] == 0.0 and line[2][1] == 0.0
+        assert line[0][1] > 0.0 and line[3][1] > 0.0
+
+    def test_timeline_gap_fill_respects_first_bucket(self):
+        w = ThroughputWindow()
+        w.record(25, 2)  # first event well past t=0
+        w.record(45, 2)
+        line = w.timeline(10)
+        # Starts at the first occupied bucket, not at zero.
+        assert [start for start, _ in line] == [20, 30, 40]
+        assert line[1][1] == 0.0
+
 
 class TestCapacityShape:
     """Fig. 3's qualitative claims as assertions on the model."""

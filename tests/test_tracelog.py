@@ -54,6 +54,59 @@ class TestTraceLog:
         assert loaded.events[0].kind == "proposed"
         assert dict(loaded.events[0].detail)["txs"] == 2
 
+    def test_jsonl_roundtrip_preserves_event_equality(self, tmp_path):
+        """Tuple/bytes detail values must survive dump/load: JSON turns
+        tuples into lists and cannot carry bytes, so both record() and
+        load_jsonl() canonicalise — events compare equal across the trip."""
+        log = TraceLog()
+        log.record(
+            5,
+            2,
+            "committed",
+            InstanceId(1, 3),
+            entries=((0, 1), (2, 4)),
+            digest=b"\x00\xff",
+            note="ok",
+        )
+        log.record(9, 0, "executed", (1, 3), seqs=[7, 8, 9])
+        path = str(tmp_path / "trace.jsonl")
+        log.dump_jsonl(path)
+        loaded = TraceLog.load_jsonl(path)
+        assert loaded.events == log.events
+        detail = dict(log.events[0].detail)
+        assert detail["entries"] == ((0, 1), (2, 4))
+        assert detail["digest"] == "00ff"
+        # Nested list detail recorded as a tuple too.
+        assert dict(log.events[1].detail)["seqs"] == (7, 8, 9)
+
+    def test_tuple_instance_keys_interchangeable(self):
+        """Queries accept raw (proposer, batch_no) pairs — what a JSONL
+        dump preserves — interchangeably with InstanceId."""
+        log = TraceLog()
+        log.record(10, 0, "proposed", (2, 7))
+        log.record(40, 0, "decided", InstanceId(2, 7))
+        assert len(log.for_instance(InstanceId(2, 7))) == 2
+        assert len(log.for_instance((2, 7))) == 2
+        assert log.first_times((2, 7), node=0) == {"proposed": 10, "decided": 40}
+        assert log.instances() == [(2, 7)]
+
+    def test_missing_phases_yield_partial_durations(self):
+        """An instance that skipped phases (crash-recovered replica,
+        catch-up adoption) yields a partial — never erroneous —
+        decomposition, and first_times simply omits the missing kinds."""
+        log = TraceLog()
+        iid = InstanceId(0, 4)
+        # The recovered node only ever saw committed and executed.
+        log.record(700, 2, "committed", iid)
+        log.record(800, 2, "executed", iid)
+        durations = log.phase_durations_us(iid, 2)
+        assert durations == {"committed->executed": 100}
+        assert "total" not in durations
+        assert "proposed" not in log.first_times(iid, node=2)
+        # A node with no events at all: everything empty, nothing raised.
+        assert log.phase_durations_us(iid, 3) == {}
+        assert log.first_times(iid, node=3) == {}
+
 
 class TestClusterTracing:
     def test_instrumented_run_emits_pipeline_events(self):
@@ -69,6 +122,32 @@ class TestClusterTracing:
             times = log.first_times(entry.instance, node=0)
             assert "committed" in times and "executed" in times
             assert times["committed"] <= times["executed"]
+
+    def test_install_composes_with_existing_tracer(self):
+        """install_lyra_tracing must not clobber a tracer already hooked on
+        a node — both the prior hook and the new log keep observing."""
+        cluster = build_lyra_cluster(quick_lyra_config())
+        seen = []
+        for node in cluster.nodes:
+            node.tracer = (
+                lambda kind, iid, _pid=node.pid, **detail: seen.append(
+                    (_pid, kind)
+                )
+            )
+        log = install_lyra_tracing(cluster)
+        cluster.run()
+        assert len(log) > 0
+        # The pre-existing hook saw exactly the events the log recorded.
+        assert len(seen) == len(log)
+        assert {k for _, k in seen} == set(log.kinds())
+
+    def test_install_twice_feeds_both_logs(self):
+        cluster = build_lyra_cluster(quick_lyra_config())
+        first = install_lyra_tracing(cluster)
+        second = install_lyra_tracing(cluster)
+        cluster.run()
+        assert len(first) == len(second) > 0
+        assert first.kinds() == second.kinds()
 
 
 class TestLatencyBreakdown:
