@@ -292,6 +292,185 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def _workload_spec_from_args(args, n: int, duration_us: int):
+    """Translate the workload CLI flags into a WorkloadSpec."""
+    from repro.sim.engine import SECONDS
+    from repro.workload.spec import ClientGroup, WorkloadSpec
+
+    per_client = max(args.offered_tps / n, 1e-3)
+    if args.arrival == "poisson":
+        arrival = {"kind": "poisson", "rate_tps": per_client}
+    elif args.arrival == "bursty":
+        arrival = {"kind": "bursty", "rate_tps": per_client}
+    elif args.arrival == "diurnal":
+        # Compress the day/night cycle into the run so the modulation is
+        # actually visible over a short horizon.
+        arrival = {
+            "kind": "diurnal",
+            "rate_tps": per_client,
+            "period_us": max(1 * SECONDS, duration_us // 2),
+        }
+    elif args.arrival == "trace":
+        if args.trace_file:
+            with open(args.trace_file) as fh:
+                offsets = [int(line) for line in fh if line.strip()]
+        else:
+            # No trace given: replay a uniform schedule at the offered rate.
+            gap = int(1_000_000 / per_client)
+            count = max(1, int(per_client * duration_us / 1_000_000))
+            offsets = [i * gap for i in range(count)]
+        arrival = {"kind": "trace", "offsets_us": offsets}
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown arrival process {args.arrival!r}")
+
+    groups = [
+        ClientGroup(
+            name="traffic",
+            client="arrival",
+            count_per_node=1,
+            arrival=arrival,
+            body=args.body,
+            users=args.users,
+        )
+    ]
+    if args.mev:
+        # The Fig. 1 cell: AMM victims homed far from the replica
+        # majority, one MEV bot colocated with a (Pompē-colluding)
+        # replica close to it.
+        groups.append(
+            ClientGroup(
+                name="victims",
+                client="arrival",
+                count=1,
+                home=0,
+                arrival={"kind": "poisson", "rate_tps": args.victim_tps},
+                body="amm",
+                body_params={"amount_min": 1_000, "amount_max": 5_000},
+            )
+        )
+        groups.append(
+            ClientGroup(
+                name="mev",
+                client="mev",
+                count=1,
+                home=1,
+                collude=True,
+            )
+        )
+    return WorkloadSpec(groups=tuple(groups), fairness=True, users=args.users)
+
+
+def cmd_workload(args) -> None:
+    """Run the open-loop traffic engine and print the fairness report."""
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.factory import build_cluster
+    from repro.metrics.capacity import extrapolate_users
+    from repro.sim.engine import MILLISECONDS
+    from repro.workload.spec import mev_node_classes
+
+    protocols = _parse_protocols(args.protocol)
+    # The MEV cell needs the Fig. 1 geometry: the replica majority far
+    # from the victim's home and the bot's colluding replica between
+    # them, plus per-transaction batches so ordering races are visible.
+    n = args.n if args.n is not None else (7 if args.mev else 4)
+    batch = args.batch if args.batch is not None else (1 if args.mev else 10)
+    regions = None
+    if args.mev:
+        if n < 3:
+            raise SystemExit("--mev needs n >= 3")
+        regions = ["tokyo", "singapore"] + ["saopaulo"] * (n - 2)
+    duration_us = args.duration_ms * MILLISECONDS
+    spec = _workload_spec_from_args(args, n, duration_us)
+
+    failed = False
+    for protocol in protocols:
+        config = ExperimentConfig(
+            n_nodes=n,
+            seed=args.seed,
+            batch_size=batch,
+            duration_us=duration_us,
+            warmup_rounds=2,
+            warmup_spacing_us=150 * MILLISECONDS,
+            workload=spec,
+        )
+        if regions is not None:
+            config.regions = regions
+        cluster = build_cluster(
+            config,
+            protocol=protocol,
+            node_classes=mev_node_classes(spec, protocol, n) or None,
+        )
+        result = cluster.run()
+
+        print(f"\n## WORKLOAD — {protocol} n={n} seed={args.seed}")
+        print(
+            f"arrival={args.arrival} offered={args.offered_tps:g}tps "
+            f"users={args.users} body={args.body} "
+            f"mev={'on' if args.mev else 'off'}"
+        )
+        block = result.fairness
+        if not block:
+            print("FAIL: result has no fairness block")
+            failed = True
+            continue
+        counts = block.get("counts", {})
+        print(
+            f"throughput_tps={result.throughput_tps:.1f} "
+            f"submitted={counts.get('submitted')} "
+            f"completed={counts.get('completed')} "
+            f"incomplete={counts.get('incomplete')}"
+        )
+        reorder = block["reorder"]
+        print(
+            f"reorder distance: mean={reorder['mean']:.2f} "
+            f"p99={reorder['p99']} max={reorder['max']} "
+            f"kendall_tau={reorder['kendall_tau']:.4f} "
+            f"(over {reorder['count']} txs)"
+        )
+        sandwich = block["sandwich"]
+        print(
+            f"sandwich: attempts={sandwich['attempts']} "
+            f"launched={sandwich['launched']} landed={sandwich['landed']} "
+            f"successes={sandwich['successes']} "
+            f"success_rate={sandwich['success_rate']:.3f}"
+        )
+        for name, row in sorted(block.get("latency", {}).items()):
+            print(
+                f"latency[{name}]: p50={row['p50_us'] / 1000:.1f}ms "
+                f"p99={row['p99_us'] / 1000:.1f}ms "
+                f"(count={row['count']})"
+            )
+        cap = extrapolate_users(
+            protocol=protocol,
+            n=n,
+            f=config.resolved_f(),
+            users=spec.resolved_users(n),
+            offered_tps=spec.offered_tps(n),
+            measured_tps=result.throughput_tps,
+        )
+        print(
+            f"capacity[{protocol}]: model_tps={cap['capacity_tps']:.0f} "
+            f"binding={cap['binding_resource']} "
+            f"per_user_tps={cap['per_user_tps']:.2e} "
+            f"users_at_capacity={cap['users_at_capacity']:.3g} "
+            f"sustainable={cap['sustainable']}"
+        )
+        if result.safety_violation is not None:
+            print(f"FAIL: safety violation: {result.safety_violation}")
+            failed = True
+        if result.invariant_violations:
+            print(
+                f"FAIL: {len(result.invariant_violations)} invariant "
+                f"violation(s); first: {result.invariant_violations[0]}"
+            )
+            failed = True
+    print()
+    if failed:
+        print("RESULT: FAIL")
+        raise SystemExit(1)
+    print("RESULT: PASS")
+
+
 def cmd_bench(args) -> None:
     """Run the fixed micro/macro perf suite and emit BENCH_<date>.json."""
     from repro.bench import (
@@ -570,6 +749,74 @@ def main(argv=None) -> int:
         help="allowed events/sec slowdown vs baseline (default 0.30)",
     )
     pbench.set_defaults(fn=cmd_bench)
+
+    pwork = sub.add_parser(
+        "workload",
+        help="open-loop traffic engine: arrival-driven load, fairness "
+        "report, capacity extrapolation",
+    )
+    _add_protocol_flag(pwork, "lyra")
+    pwork.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="cluster size (default: 4, or 7 with --mev)",
+    )
+    pwork.add_argument("--seed", type=int, default=1)
+    pwork.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "diurnal", "trace"),
+        default="poisson",
+        help="arrival process of the main traffic group",
+    )
+    pwork.add_argument(
+        "--offered-tps",
+        type=float,
+        default=200.0,
+        help="aggregate offered rate of the main traffic group (tx/s)",
+    )
+    pwork.add_argument(
+        "--users",
+        type=int,
+        default=1000,
+        help="simulated user population the traffic stands in for "
+        "(Poisson superposition; feeds the capacity extrapolation)",
+    )
+    pwork.add_argument(
+        "--body",
+        choices=("raw", "kv_zipf", "amm"),
+        default="raw",
+        help="body mix of the main traffic group",
+    )
+    pwork.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="with --arrival trace: file of submission offsets (µs, one "
+        "per line)",
+    )
+    pwork.add_argument(
+        "--mev",
+        action="store_true",
+        help="add the adversarial cell: AMM victim traffic plus a "
+        "colluding MEV bot chasing it (Fig. 1 geometry)",
+    )
+    pwork.add_argument(
+        "--victim-tps",
+        type=float,
+        default=2.0,
+        help="victim swap rate in the --mev cell",
+    )
+    pwork.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="batch size (default: 10, or 1 with --mev)",
+    )
+    pwork.add_argument(
+        "--duration-ms", type=int, default=4000, help="virtual duration in ms"
+    )
+    pwork.set_defaults(fn=cmd_workload)
 
     pchaos = sub.add_parser(
         "chaos", help="run a seeded fault schedule and print an invariant report"

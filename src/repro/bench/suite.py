@@ -171,6 +171,27 @@ def _bench_message_checksum() -> int:
     return n
 
 
+def _bench_workload_gen() -> int:
+    """Open-loop generation: Poisson arrivals + Zipf bodies, no network."""
+    import numpy as np
+
+    from repro.workload.generator import make_body_sampler
+    from repro.workload.arrivals import make_arrivals
+
+    n = 20_000
+    rng = np.random.default_rng(7)
+    arrivals = make_arrivals("poisson", rate_tps=1000.0)
+    body = make_body_sampler("kv_zipf", {"keyspace": 100_000, "skew": 1.1}, rng)
+    produced = 0
+    while produced < n:
+        for _ in arrivals.times(rng, 0, 1_000_000):
+            body()
+            produced += 1
+            if produced >= n:
+                break
+    return produced
+
+
 _MICRO_BENCHES: Dict[str, Callable[[], int]] = {
     "event_loop": _bench_event_loop,
     "digest_cache_hit": _bench_digest_cache,
@@ -178,6 +199,7 @@ _MICRO_BENCHES: Dict[str, Callable[[], int]] = {
     "memo_cache_churn": _bench_memo_cache_churn,
     "feldman_verify_cached": _bench_feldman_verify,
     "message_checksum_verify": _bench_message_checksum,
+    "workload_openloop_gen": _bench_workload_gen,
 }
 
 

@@ -31,10 +31,12 @@ from repro.net.faults import FaultInjector
 from repro.net.latency import GeoLatencyModel, UniformLatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
+from repro.metrics.fairness import fairness_block
 from repro.sim.engine import SECONDS, Simulator
 from repro.sim.rng import RngRegistry
-from repro.workload.clients import ClosedLoopClient
+from repro.workload.clients import TxKey, _BaseClient
 from repro.workload.kvstore import KvStore
+from repro.workload.spec import build_workload
 
 
 @dataclass
@@ -69,6 +71,10 @@ class ExperimentResult:
     # unless ``ExperimentConfig.metrics`` was on).  Plain JSON, so it
     # crosses sweep worker boundaries and the on-disk result cache.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    # Fairness report (reorder distance, sandwich outcomes, per-group
+    # latency percentiles, end-of-run accounting) — populated when the
+    # run's WorkloadSpec has ``fairness`` on, empty otherwise.
+    fairness: Dict[str, Any] = field(default_factory=dict)
     # Wall-clock seconds spent inside the event loop proper (excludes
     # post-run consolidation: snapshotting, safety checks).  The bench
     # suite's events/sec — and the observability overhead gate — divide
@@ -180,35 +186,20 @@ class LyraCluster:
             )
             self.nodes.append(node)
 
-        # Clients: placed in their home node's region.
-        self.clients: List[ClosedLoopClient] = []
-        client_specs: List[Tuple[int, str]] = []
-        for pid in range(n):
-            for _ in range(config.clients_per_node):
-                client_specs.append((pid, self.topology.region_of(pid)))
-        for home, region in client_specs:
-            cpid = self.topology.place(region)
-            client = ClosedLoopClient(
-                cpid,
-                self.sim,
-                home,
-                window=config.client_window,
-                start_at_us=config.client_start_us(),
-            )
-            self.clients.append(client)
-        # Light-load latency probes (Fig. 2 rig), one per node up to the
-        # configured count.
-        for home in range(min(config.probe_clients, n)):
-            cpid = self.topology.place(self.topology.region_of(home))
-            self.clients.append(
-                ClosedLoopClient(
-                    cpid,
-                    self.sim,
-                    home,
-                    window=config.probe_window,
-                    start_at_us=config.client_start_us(),
-                )
-            )
+        # Clients: declared by the workload spec (legacy knobs shim into
+        # an equivalent spec), resolved through the client registry, each
+        # placed in its home node's region.
+        self.workload_spec = config.resolved_workload()
+        self.workload = build_workload(
+            self.workload_spec,
+            sim=self.sim,
+            topology=self.topology,
+            rng=self.rng,
+            n=n,
+            start_at_us=config.client_start_us(),
+            stop_at_us=config.duration_us,
+        )
+        self.clients: List[_BaseClient] = self.workload.clients
 
         # Network.
         if config.uniform_delay_us is not None:
@@ -286,6 +277,7 @@ class LyraCluster:
                     "channel", self.network.reliable.stats.to_dict
                 )
             self.metrics.add_source("cache", self._cache_source)
+            self.metrics.add_source("workload", self.workload.metrics_source)
 
         # Always-on invariant watchdog: prefix agreement, commit
         # regression, ordered output, and post-GST liveness.
@@ -295,6 +287,14 @@ class LyraCluster:
         )
 
         # Execution layer + per-node execution event log (time, tx count).
+        # The fairness layer taps replica 0's execution order (all correct
+        # replicas execute the same log), and MEV bots observe payloads at
+        # their home replica's execution — under Lyra that is the first
+        # moment *any* replica can read a VSS-encrypted body, which is why
+        # sandwiches structurally fail here (contrast the Pompē cluster's
+        # cleartext ordering-phase tap).
+        self.committed_order: List[TxKey] = []
+        mev_by_home = self.workload.mev_bots_by_home()
         self.stores: Dict[int, KvStore] = {}
         self.exec_events: Dict[int, List[Tuple[int, int]]] = {}
         for node in self.nodes:
@@ -307,7 +307,22 @@ class LyraCluster:
                 store.apply_batch(batch)
                 events.append((node.sim.now, len(batch)))
 
-            node.on_executed = _hook
+            hook = _hook
+            if self.workload_spec.fairness and node.pid == 0:
+
+                def hook(entry, batch, prev=hook, order=self.committed_order):
+                    prev(entry, batch)
+                    order.extend(tx.key() for tx in batch.txs)
+
+            bots = mev_by_home.get(node.pid)
+            if bots:
+
+                def hook(entry, batch, prev=hook, bots=tuple(bots)):
+                    prev(entry, batch)
+                    for bot in bots:
+                        bot.on_observed_batch(batch)
+
+            node.on_executed = hook
 
     # ------------------------------------------------------------------
     # Metrics scrape sources (polled at snapshot time, never on hot paths)
@@ -368,6 +383,9 @@ class LyraCluster:
             if gc_was_enabled:
                 gc.enable()
         self.watchdog.check_now()  # final end-of-run sample
+        # End-of-run accounting: whatever is still in flight is counted
+        # as incomplete, never silently dropped.
+        self.workload.finalize(self.sim.now)
 
         measure_from = cfg.measurement_start_us()
         latencies: List[int] = []
@@ -416,6 +434,15 @@ class LyraCluster:
         if self.network.reliable is not None:
             stats.update(self.network.reliable.stats.to_dict())
         result.fault_stats = stats
+        if self.workload_spec.fairness:
+            block = fairness_block(
+                submitted_order=self.workload.submit_order(),
+                committed_order=self.committed_order,
+                attempts=self.workload.sandwich_attempts(),
+                latencies_by_group=self.workload.latencies_by_group(),
+            )
+            block["counts"] = self.workload.counts()
+            result.fairness = block
         if self.network.wire_stats.frames_sent:
             result.wire_stats = self.network.wire_stats.to_dict()
         if self.metrics is not None:

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.net.faults import FaultPlan
 from repro.net.topology import EVAL_REGIONS
 from repro.sim.engine import MILLISECONDS, SECONDS
+from repro.workload.spec import WorkloadSpec
 
 
 @dataclass
@@ -49,11 +51,17 @@ class ExperimentConfig:
     clock_skew_max_us: int = 20 * MILLISECONDS
 
     # Workload.
+    #: The declarative traffic description (arrival processes, body
+    #: mixes, MEV bots — see :class:`repro.workload.spec.WorkloadSpec`).
+    #: ``None`` falls back to the legacy closed-loop knobs below.
+    workload: Optional[WorkloadSpec] = None
     clients_per_node: int = 1
     client_window: int = 50
-    #: Extra light-load probe clients (one per node, up to this count) with
-    #: their own small request window — the Fig. 2 latency measurement rig.
+    #: Deprecated (use ``workload``): extra light-load probe clients (one
+    #: per node, up to this count) with their own small request window —
+    #: the Fig. 2 latency measurement rig.
     probe_clients: int = 0
+    #: Deprecated (use ``workload``): request window of the probes.
     probe_window: int = 1
     duration_us: int = 5 * SECONDS
     #: Measurement starts after clients have ramped up.
@@ -107,6 +115,32 @@ class ExperimentConfig:
         # Skip the first second of client traffic (pipeline fill).
         return self.client_start_us() + 1 * SECONDS
 
+    def resolved_workload(self) -> WorkloadSpec:
+        """The effective :class:`WorkloadSpec` of this run.
+
+        An explicit ``workload`` wins; otherwise the deprecated legacy
+        knobs (``clients_per_node`` / ``client_window`` /
+        ``probe_clients`` / ``probe_window``) are shimmed into an
+        equivalent spec that reproduces the historical client rig
+        bit-for-bit.
+        """
+        if self.workload is not None:
+            return self.workload
+        if self.probe_clients != 0 or self.probe_window != 1:
+            warnings.warn(
+                "ExperimentConfig.probe_clients/probe_window are "
+                "deprecated; pass an equivalent WorkloadSpec via "
+                "ExperimentConfig.workload instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return WorkloadSpec.from_legacy(
+            clients_per_node=self.clients_per_node,
+            client_window=self.client_window,
+            probe_clients=self.probe_clients,
+            probe_window=self.probe_window,
+        )
+
     # ------------------------------------------------------------------
     # Serialization — sweep cells cross process boundaries and are cached
     # on disk keyed by a content hash of this exact representation.
@@ -117,6 +151,9 @@ class ExperimentConfig:
         data["regions"] = list(self.regions)
         data["fault_plan"] = (
             self.fault_plan.to_dict() if self.fault_plan is not None else None
+        )
+        data["workload"] = (
+            self.workload.to_dict() if self.workload is not None else None
         )
         return data
 
@@ -133,6 +170,10 @@ class ExperimentConfig:
             data["fault_plan"], FaultPlan
         ):
             data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
+        if data.get("workload") is not None and not isinstance(
+            data["workload"], WorkloadSpec
+        ):
+            data["workload"] = WorkloadSpec.from_dict(data["workload"])
         return cls(**data)
 
 

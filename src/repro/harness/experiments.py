@@ -28,6 +28,7 @@ from repro.harness.sweep import (
 )
 from repro.metrics.capacity import CapacityInputs, lyra_capacity, pompe_capacity
 from repro.sim.engine import MILLISECONDS, SECONDS
+from repro.workload.spec import ClientGroup, WorkloadSpec
 
 #: §VI-C node counts.
 PAPER_NODE_COUNTS = [5, 10, 16, 31, 61, 100]
@@ -68,8 +69,18 @@ def _latency_config(n: int, seed: int = 3) -> ExperimentConfig:
         batch_size=8,
         batch_timeout_us=30 * MILLISECONDS,
         clients_per_node=0,
-        probe_clients=3,
-        probe_window=1,
+        workload=WorkloadSpec(
+            groups=(
+                ClientGroup(
+                    name="probes",
+                    client="closed",
+                    count=3,
+                    one_per_node=True,
+                    window=1,
+                ),
+            ),
+            fairness=False,
+        ),
         duration_us=7 * SECONDS,
         warmup_rounds=3,
         warmup_spacing_us=200 * MILLISECONDS,

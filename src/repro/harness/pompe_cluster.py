@@ -16,13 +16,15 @@ from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import ThresholdScheme
 from repro.harness.cluster import ExperimentResult
 from repro.harness.config import ExperimentConfig
+from repro.metrics.fairness import fairness_block
 from repro.net.adversary import NullAdversary, PartialSynchronyAdversary
 from repro.net.latency import GeoLatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
-from repro.workload.clients import ClosedLoopClient
+from repro.workload.clients import TxKey, _BaseClient
+from repro.workload.spec import build_workload
 
 
 class PompeCluster:
@@ -79,31 +81,38 @@ class PompeCluster:
                 )
             )
 
-        self.clients: List[ClosedLoopClient] = []
-        for pid in range(n):
-            for _ in range(config.clients_per_node):
-                cpid = self.topology.place(self.topology.region_of(pid))
-                self.clients.append(
-                    ClosedLoopClient(
-                        cpid,
-                        self.sim,
-                        pid,
-                        window=config.client_window,
-                        start_at_us=config.client_start_us(),
-                    )
-                )
-        # Light-load latency probes (Fig. 2 rig), mirroring the Lyra cluster.
-        for home in range(min(config.probe_clients, n)):
-            cpid = self.topology.place(self.topology.region_of(home))
-            self.clients.append(
-                ClosedLoopClient(
-                    cpid,
-                    self.sim,
-                    home,
-                    window=config.probe_window,
-                    start_at_us=config.client_start_us(),
-                )
-            )
+        # Clients: declared by the workload spec (legacy knobs shim into
+        # an equivalent spec), mirroring the Lyra cluster's placement.
+        self.workload_spec = config.resolved_workload()
+        self.workload = build_workload(
+            self.workload_spec,
+            sim=self.sim,
+            topology=self.topology,
+            rng=self.rng,
+            n=n,
+            start_at_us=config.client_start_us(),
+            stop_at_us=config.duration_us,
+        )
+        self.clients: List[_BaseClient] = self.workload.clients
+
+        # MEV observation tap: Pompē batches travel in clear text during
+        # the ordering phase, so a bot colocated with its home replica
+        # sees every victim payload *before* a timestamp is assigned —
+        # the attack surface Lyra closes.  Chained after any existing
+        # hook (a colluding CherryPickingOrdererNode installs its own).
+        for node in self.nodes:
+            bots = self.workload.mev_bots_by_home().get(node.pid)
+            if not bots:
+                continue
+            prev = node.observe_batch
+
+            def tap(batch, sender, prev=prev, bots=tuple(bots)):
+                if prev is not None:
+                    prev(batch, sender)
+                for bot in bots:
+                    bot.on_observed_batch(batch)
+
+            node.observe_batch = tap
 
         latency = GeoLatencyModel(
             self.topology.placement, jitter=config.jitter, rng=self.rng
@@ -132,15 +141,23 @@ class PompeCluster:
         for client in self.clients:
             self.network.register(client, replica=False)
 
+        self.committed_order: List[TxKey] = []
         self.exec_events: Dict[int, List[Tuple[int, int]]] = {}
         for node in self.nodes:
             events: List[Tuple[int, int]] = []
             self.exec_events[node.pid] = events
-            node.on_executed = (
-                lambda cert, events=events, node=node: events.append(
-                    (node.sim.now, len(cert.batch))
-                )
-            )
+
+            def _hook(cert, events=events, node=node):
+                events.append((node.sim.now, len(cert.batch)))
+
+            hook = _hook
+            if self.workload_spec.fairness and node.pid == 0:
+
+                def hook(cert, prev=hook, order=self.committed_order):
+                    prev(cert)
+                    order.extend(tx.key() for tx in cert.batch.txs)
+
+            node.on_executed = hook
 
     # ------------------------------------------------------------------
     def run(self, *, skip_safety_check: bool = False) -> ExperimentResult:
@@ -148,6 +165,7 @@ class PompeCluster:
         for node in self.nodes:
             node.start()
         self.sim.run(until=cfg.duration_us)
+        self.workload.finalize(self.sim.now)
 
         latencies: List[int] = []
         for client in self.clients:
@@ -181,6 +199,15 @@ class PompeCluster:
             result.throughput_tps = (
                 per_node[len(per_node) // 2] * 1_000_000.0 / window_us
             )
+        if self.workload_spec.fairness:
+            block = fairness_block(
+                submitted_order=self.workload.submit_order(),
+                committed_order=self.committed_order,
+                attempts=self.workload.sandwich_attempts(),
+                latencies_by_group=self.workload.latencies_by_group(),
+            )
+            block["counts"] = self.workload.counts()
+            result.fairness = block
         if not skip_safety_check:
             outputs = {node.pid: node.output_sequence() for node in self.nodes}
             result.safety_violation = check_prefix_consistency(outputs)

@@ -6,12 +6,19 @@ from repro.metrics.stats import LatencySummary, percentile, summarize_latencies
 from repro.metrics.throughput import ThroughputWindow
 from repro.metrics.capacity import (
     CapacityInputs,
+    extrapolate_users,
     lyra_capacity,
     pompe_capacity,
     lyra_instance_profile,
     pompe_cert_profile,
     lyra_loaded_latency_us,
     pompe_loaded_latency_us,
+)
+from repro.metrics.fairness import (
+    count_inversions,
+    fairness_block,
+    reorder_distance,
+    sandwich_stats,
 )
 from repro.metrics.tracelog import TraceLog, TraceEvent, install_lyra_tracing
 from repro.metrics.registry import (
@@ -38,6 +45,11 @@ __all__ = [
     "summarize_latencies",
     "ThroughputWindow",
     "CapacityInputs",
+    "count_inversions",
+    "extrapolate_users",
+    "fairness_block",
+    "reorder_distance",
+    "sandwich_stats",
     "lyra_capacity",
     "pompe_capacity",
     "lyra_instance_profile",

@@ -222,6 +222,70 @@ def pompe_capacity(
     return bounds[resource], resource
 
 
+#: Capacity functions by protocol name (sweep/CLI glue).
+_CAPACITY_FNS = {
+    "lyra": lambda n, f, inputs: lyra_capacity(n, f, inputs),
+    "pompe": lambda n, f, inputs: pompe_capacity(n, f, inputs),
+}
+
+
+def extrapolate_users(
+    *,
+    protocol: str,
+    n: int,
+    f: int,
+    users: int,
+    offered_tps: float,
+    measured_tps: float,
+    inputs: CapacityInputs | None = None,
+) -> Dict[str, float]:
+    """Scale a simulated run's offered load to a large user population.
+
+    The traffic engine drives the protocol with one *aggregate* arrival
+    stream standing in for ``users`` independent thin streams (Poisson
+    superposition), each contributing ``offered_tps / users`` tx/s.  The
+    capacity model then answers the scalability question directly: how
+    many such users can the deployment sustain before the binding
+    resource saturates?
+
+    Returns a JSON-friendly block with the model ceiling, the per-user
+    rate, the supportable population, and whether the target population
+    fits (``sustainable``: capacity covers ``users`` at the observed
+    per-user rate).
+    """
+    capacity_fn = _CAPACITY_FNS.get(protocol.lower())
+    if capacity_fn is None:
+        raise ValueError(
+            f"no capacity model for protocol {protocol!r}; "
+            f"available: {', '.join(sorted(_CAPACITY_FNS))}"
+        )
+    if inputs is None:
+        # The default "offered-load" bound models the paper's closed-loop
+        # client rig; an open-loop population question is about protocol
+        # resources, so lift that artificial bound.
+        inputs = CapacityInputs(offered_per_node_tps=float("inf"))
+    capacity_tps, resource = capacity_fn(n, f, inputs)
+    population = max(1, users)
+    per_user_tps = offered_tps / population if offered_tps > 0 else 0.0
+    users_at_capacity = (
+        capacity_tps / per_user_tps if per_user_tps > 0 else float("inf")
+    )
+    demand_tps = per_user_tps * population
+    return {
+        "protocol": protocol.lower(),
+        "n": n,
+        "users": population,
+        "offered_tps": offered_tps,
+        "measured_tps": measured_tps,
+        "per_user_tps": per_user_tps,
+        "capacity_tps": capacity_tps,
+        "binding_resource": resource,
+        "users_at_capacity": users_at_capacity,
+        "utilisation": (demand_tps / capacity_tps) if capacity_tps else 0.0,
+        "sustainable": demand_tps <= capacity_tps,
+    }
+
+
 def _mm1_queue_wait_us(service_us: float, utilisation: float) -> float:
     """Mean M/M/1 queueing delay (wait + service) at the bottleneck."""
     rho = min(0.98, max(0.0, utilisation))
@@ -280,6 +344,7 @@ def pompe_loaded_latency_us(
 
 __all__ = [
     "CapacityInputs",
+    "extrapolate_users",
     "lyra_capacity",
     "pompe_capacity",
     "lyra_instance_profile",

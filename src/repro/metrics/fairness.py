@@ -1,0 +1,189 @@
+"""Ordering-fairness metrics: reorder distance and sandwich outcomes.
+
+The differential order-fairness literature (Quick Order Fairness, the SoK
+on consensus for fair message ordering) measures how far a protocol's
+*committed* order strays from the *submission* order clients actually
+produced.  Two views of that gap:
+
+- **Reorder distance** — per-transaction displacement between a
+  transaction's rank in the submission order and its rank in the
+  committed order (both restricted to their common keys), plus the
+  normalised Kendall tau distance (pairwise inversions / possible pairs).
+  0 everywhere means committed order == arrival order.
+- **Sandwich outcomes** — for each MEV-bot attempt, whether the
+  committed order realised ``front < victim < back``; the success *rate*
+  is what Lyra's content obfuscation drives to zero while cleartext
+  ordering (Pompē) leaves it open.
+
+All functions are pure order math over tx keys — no simulator types — so
+they are unit-testable on hand-built orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
+
+from repro.metrics.stats import summarize_latencies
+
+
+def count_inversions(ranks: Sequence[int]) -> int:
+    """Number of pairwise inversions in ``ranks`` (mergesort, O(n log n))."""
+    items = list(ranks)
+    if len(items) < 2:
+        return 0
+
+    def _sort(arr: List[int]) -> Tuple[List[int], int]:
+        if len(arr) <= 1:
+            return arr, 0
+        mid = len(arr) // 2
+        left, inv_l = _sort(arr[:mid])
+        right, inv_r = _sort(arr[mid:])
+        merged: List[int] = []
+        inversions = inv_l + inv_r
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                inversions += len(left) - i
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inversions
+
+    _, total = _sort(items)
+    return total
+
+
+def reorder_distance(
+    submitted: Sequence[Hashable], committed: Sequence[Hashable]
+) -> Dict[str, float]:
+    """Displacement statistics between submission and committed order.
+
+    Both sequences are restricted to their common keys (a transaction
+    must appear in both orders to have a displacement); duplicates are
+    resolved by first occurrence.  Returns mean/max/p99 displacement,
+    the normalised Kendall tau distance in [0, 1], and the sample size.
+    """
+    sub_rank: Dict[Hashable, int] = {}
+    for key in submitted:
+        if key not in sub_rank:
+            sub_rank[key] = len(sub_rank)
+    common: List[Hashable] = []
+    seen = set()
+    for key in committed:
+        if key in sub_rank and key not in seen:
+            seen.add(key)
+            common.append(key)
+    if not common:
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "max": 0,
+            "p99": 0,
+            "kendall_tau": 0.0,
+        }
+    # Re-rank within the common subset so displacement compares like with
+    # like (a missing tx should not shift everyone after it).
+    sub_order = sorted(common, key=lambda k: sub_rank[k])
+    sub_pos = {key: i for i, key in enumerate(sub_order)}
+    com_pos = {key: i for i, key in enumerate(common)}
+    displacements = sorted(abs(com_pos[k] - sub_pos[k]) for k in common)
+    count = len(displacements)
+    # Committed order expressed as submission ranks: inversions of this
+    # sequence are exactly the discordant pairs of the two orders.
+    ranks = [sub_pos[key] for key in common]
+    inversions = count_inversions(ranks)
+    pairs = count * (count - 1) // 2
+    return {
+        "count": count,
+        "mean": sum(displacements) / count,
+        "max": displacements[-1],
+        "p99": displacements[min(count - 1, int(count * 0.99))],
+        "kendall_tau": (inversions / pairs) if pairs else 0.0,
+    }
+
+
+def sandwich_stats(
+    attempts: Sequence[Any], committed: Sequence[Hashable]
+) -> Dict[str, float]:
+    """Judge MEV sandwich attempts against the committed order.
+
+    ``attempts`` are :class:`~repro.workload.mev.SandwichAttempt`-shaped
+    objects (``victim`` / ``front`` / ``back`` tx keys).  An attempt
+    *lands* when all three transactions committed; it *succeeds* when
+    their committed positions realise ``front < victim < back``.  The
+    success rate is successes over all attempts (an attempt the bot
+    could not finish is a failed attack, not a discarded sample).
+    """
+    pos: Dict[Hashable, int] = {}
+    for i, key in enumerate(committed):
+        if key not in pos:
+            pos[key] = i
+    launched = landed = successes = 0
+    for attempt in attempts:
+        if attempt.front is not None and attempt.back is not None:
+            launched += 1
+        else:
+            continue
+        if (
+            attempt.victim in pos
+            and attempt.front in pos
+            and attempt.back in pos
+        ):
+            landed += 1
+            if pos[attempt.front] < pos[attempt.victim] < pos[attempt.back]:
+                successes += 1
+    total = len(attempts)
+    return {
+        "attempts": total,
+        "launched": launched,
+        "landed": landed,
+        "successes": successes,
+        "success_rate": (successes / total) if total else 0.0,
+    }
+
+
+def fairness_block(
+    *,
+    submitted_order: Sequence[Hashable],
+    committed_order: Sequence[Hashable],
+    attempts: Sequence[Any] = (),
+    latencies_by_group: Dict[str, List[int]] | None = None,
+) -> Dict[str, Any]:
+    """The consolidated fairness report attached to experiment results.
+
+    Plain JSON (floats/ints/strings only) so it crosses sweep-worker
+    boundaries and the on-disk result cache unchanged.
+    """
+    block: Dict[str, Any] = {
+        "submitted": len(submitted_order),
+        "committed": len(committed_order),
+        "reorder": reorder_distance(submitted_order, committed_order),
+        "sandwich": sandwich_stats(attempts, committed_order),
+    }
+    if latencies_by_group:
+        latency: Dict[str, Dict[str, float]] = {}
+        for name, latencies in sorted(latencies_by_group.items()):
+            if not latencies:
+                continue
+            summary = summarize_latencies(latencies)
+            latency[name] = {
+                "count": summary.count,
+                "avg_us": summary.mean,
+                "p50_us": summary.p50,
+                "p99_us": summary.p99,
+                "max_us": summary.maximum,
+            }
+        block["latency"] = latency
+    return block
+
+
+__all__ = [
+    "count_inversions",
+    "reorder_distance",
+    "sandwich_stats",
+    "fairness_block",
+]

@@ -56,12 +56,16 @@ MODULES = [
     "repro.attacks.pompe_attacks",
     "repro.workload",
     "repro.workload.amm",
+    "repro.workload.arrivals",
     "repro.workload.clients",
     "repro.workload.generator",
     "repro.workload.kvstore",
+    "repro.workload.mev",
+    "repro.workload.spec",
     "repro.metrics",
     "repro.metrics.ascii_chart",
     "repro.metrics.capacity",
+    "repro.metrics.fairness",
     "repro.metrics.stats",
     "repro.metrics.throughput",
     "repro.metrics.tracelog",

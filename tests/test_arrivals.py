@@ -1,0 +1,136 @@
+"""Arrival-process tests: determinism, mean rates, thinning, trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    SECOND_US,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    arrivals_from_dict,
+    available_arrivals,
+    make_arrivals,
+)
+
+
+def draw(proc: ArrivalProcess, seed=7, start=0, horizon=10 * SECOND_US):
+    rng = np.random.default_rng(seed)
+    return list(proc.times(rng, start, horizon))
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        kinds = available_arrivals()
+        for kind in ("poisson", "bursty", "diurnal", "trace"):
+            assert kind in kinds
+
+    def test_make_arrivals_unknown(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_arrivals("lognormal")
+
+    @pytest.mark.parametrize(
+        "proc",
+        [
+            PoissonArrivals(rate_tps=250.0),
+            BurstyArrivals(rate_tps=50.0, burst_factor=4.0, duty=0.5),
+            DiurnalArrivals(rate_tps=80.0, amplitude=0.5, phase=0.25),
+            TraceArrivals(offsets_us=(0, 10, 10, 500)),
+        ],
+    )
+    def test_dict_roundtrip(self, proc):
+        clone = arrivals_from_dict(proc.to_dict())
+        assert clone == proc
+        # Same rng stream -> same schedule: the dict form is lossless.
+        assert draw(clone) == draw(proc)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        proc = PoissonArrivals(rate_tps=500.0)
+        assert draw(proc, seed=3) == draw(proc, seed=3)
+        assert draw(proc, seed=3) != draw(proc, seed=4)
+
+    def test_mean_rate(self):
+        proc = PoissonArrivals(rate_tps=1000.0)
+        times = draw(proc, horizon=20 * SECOND_US)
+        # 20k expected arrivals; 5 sigma ~ +-700.
+        assert 19_000 < len(times) < 21_000
+        assert proc.mean_rate_tps() == 1000.0
+
+    def test_bounds_and_order(self):
+        times = draw(PoissonArrivals(rate_tps=200.0), start=1_000_000)
+        assert all(1_000_000 <= t < 10 * SECOND_US for t in times)
+        assert times == sorted(times)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_tps=0.0)
+
+
+class TestBursty:
+    def test_long_run_mean_preserved(self):
+        proc = BurstyArrivals(rate_tps=500.0, burst_factor=8.0, duty=0.25)
+        times = draw(proc, horizon=20 * SECOND_US)
+        assert 9_000 < len(times) < 11_000  # 10k expected
+
+    def test_bursts_are_denser(self):
+        proc = BurstyArrivals(
+            rate_tps=500.0, burst_factor=8.0, period_us=SECOND_US, duty=0.25
+        )
+        times = draw(proc, horizon=20 * SECOND_US)
+        on = sum(1 for t in times if (t % SECOND_US) < 0.25 * SECOND_US)
+        off = len(times) - on
+        # ON spans 1/4 of the time yet must carry the large majority.
+        assert on > 2 * off
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(duty=0.0)
+
+
+class TestDiurnal:
+    def test_long_run_mean_preserved(self):
+        proc = DiurnalArrivals(
+            rate_tps=500.0, amplitude=0.8, period_us=2 * SECOND_US
+        )
+        times = draw(proc, horizon=20 * SECOND_US)
+        assert 9_000 < len(times) < 11_000
+
+    def test_peak_vs_trough(self):
+        proc = DiurnalArrivals(
+            rate_tps=500.0, amplitude=0.9, period_us=4 * SECOND_US
+        )
+        times = draw(proc, horizon=40 * SECOND_US)
+        # sin > 0 on the first half of each period: the "day" side.
+        day = sum(1 for t in times if (t % (4 * SECOND_US)) < 2 * SECOND_US)
+        night = len(times) - day
+        assert day > 2 * night
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(amplitude=1.0)
+
+
+class TestTrace:
+    def test_literal_replay_ignores_seed(self):
+        proc = TraceArrivals(offsets_us=(0, 100, 2500, 2500, 9000))
+        assert draw(proc, seed=1) == draw(proc, seed=99)
+        assert draw(proc, start=50) == [50, 150, 2550, 2550, 9050]
+
+    def test_horizon_truncates(self):
+        proc = TraceArrivals(offsets_us=(0, 100, 2500))
+        assert draw(proc, horizon=200) == [0, 100]
+
+    def test_mean_rate_from_span(self):
+        proc = TraceArrivals(offsets_us=(0, SECOND_US, 2 * SECOND_US))
+        assert proc.mean_rate_tps() == pytest.approx(1.0)
+        assert TraceArrivals(offsets_us=(5,)).mean_rate_tps() == 0.0
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceArrivals(offsets_us=(10, 5))

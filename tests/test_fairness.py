@@ -1,0 +1,136 @@
+"""Fairness-metric unit tests on hand-built orderings.
+
+Everything here is pure order math (no simulator), so expected values are
+computed by hand and checked exactly.
+"""
+
+import pytest
+
+from repro.metrics.fairness import (
+    count_inversions,
+    fairness_block,
+    reorder_distance,
+    sandwich_stats,
+)
+from repro.workload.mev import SandwichAttempt
+
+
+class TestInversions:
+    def test_sorted_is_zero(self):
+        assert count_inversions([0, 1, 2, 3]) == 0
+        assert count_inversions([]) == 0
+        assert count_inversions([5]) == 0
+
+    def test_reversed_is_max(self):
+        # n*(n-1)/2 for a full reversal.
+        assert count_inversions([4, 3, 2, 1, 0]) == 10
+
+    def test_single_swap(self):
+        assert count_inversions([0, 2, 1, 3]) == 1
+
+    def test_known_mixed(self):
+        # Pairs out of order: (2,1), (2,0), (1,0), (3,0) -> 4.
+        assert count_inversions([2, 1, 3, 0]) == 4
+
+
+class TestReorderDistance:
+    def test_identical_orders(self):
+        r = reorder_distance(["a", "b", "c"], ["a", "b", "c"])
+        assert r == {
+            "count": 3,
+            "mean": 0.0,
+            "max": 0,
+            "p99": 0,
+            "kendall_tau": 0.0,
+        }
+
+    def test_full_reversal(self):
+        r = reorder_distance(list("abcd"), list("dcba"))
+        # Displacements 3,1,1,3 -> mean 2; all pairs discordant -> tau 1.
+        assert r["count"] == 4
+        assert r["mean"] == pytest.approx(2.0)
+        assert r["max"] == 3
+        assert r["kendall_tau"] == pytest.approx(1.0)
+
+    def test_single_adjacent_swap(self):
+        r = reorder_distance(list("abcd"), list("bacd"))
+        assert r["mean"] == pytest.approx(0.5)
+        assert r["max"] == 1
+        assert r["kendall_tau"] == pytest.approx(1 / 6)
+
+    def test_restricted_to_common_keys(self):
+        # 'x' never committed, 'z' never submitted: both ignored, and the
+        # common subset (a, b) committed in submission order.
+        r = reorder_distance(["a", "x", "b"], ["z", "a", "b"])
+        assert r["count"] == 2
+        assert r["mean"] == 0.0
+        assert r["kendall_tau"] == 0.0
+
+    def test_no_overlap(self):
+        r = reorder_distance(["a"], ["b"])
+        assert r["count"] == 0
+        assert r["kendall_tau"] == 0.0
+
+
+def attempt(victim, front=None, back=None):
+    return SandwichAttempt(
+        victim=victim,
+        observed_at_us=0,
+        direction=0,
+        amount_in=1000,
+        front=front,
+        back=back,
+    )
+
+
+class TestSandwichStats:
+    def test_success_and_rate_over_all_attempts(self):
+        committed = ["f1", "v1", "b1", "v2", "f2", "b2"]
+        attempts = [
+            attempt("v1", front="f1", back="b1"),  # f < v < b: success
+            attempt("v2", front="f2", back="b2"),  # front after victim
+            attempt("v3"),  # never launched
+        ]
+        s = sandwich_stats(attempts, committed)
+        assert s == {
+            "attempts": 3,
+            "launched": 2,
+            "landed": 2,
+            "successes": 1,
+            "success_rate": pytest.approx(1 / 3),
+        }
+
+    def test_unlanded_not_success(self):
+        # Back-run never committed: launched but not landed.
+        s = sandwich_stats(
+            [attempt("v", front="f", back="b")], ["f", "v"]
+        )
+        assert s["launched"] == 1
+        assert s["landed"] == 0
+        assert s["successes"] == 0
+
+    def test_empty(self):
+        s = sandwich_stats([], ["a"])
+        assert s["attempts"] == 0
+        assert s["success_rate"] == 0.0
+
+
+class TestFairnessBlock:
+    def test_structure_and_latency_summary(self):
+        block = fairness_block(
+            submitted_order=list("abc"),
+            committed_order=list("acb"),
+            attempts=[attempt("b", front="a", back="c")],
+            latencies_by_group={"main": [100, 200, 300], "idle": []},
+        )
+        assert block["submitted"] == 3
+        assert block["committed"] == 3
+        assert block["reorder"]["count"] == 3
+        # a < b < c in committed order 'acb'? positions a=0, c=1, b=2:
+        # front(a)=0 < victim(b)=2 fails the b < back(c)=1 leg.
+        assert block["sandwich"]["successes"] == 0
+        lat = block["latency"]
+        assert "idle" not in lat  # empty groups elided
+        assert lat["main"]["count"] == 3
+        assert lat["main"]["avg_us"] == pytest.approx(200.0)
+        assert lat["main"]["max_us"] == 300
