@@ -292,6 +292,154 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def _parse_seed_specs(tokens):
+    """Expand seed tokens: ``7`` is one seed, ``A:B`` is the half-open
+    range [A, B) — so ``--seeds 0:25`` fuzzes seeds 0..24."""
+    seeds = []
+    for tok in tokens:
+        if ":" in tok:
+            lo, hi = tok.split(":", 1)
+            lo_i, hi_i = int(lo), int(hi)
+            if hi_i <= lo_i:
+                raise SystemExit(f"bad seed range {tok!r}: need A < B")
+            seeds.extend(range(lo_i, hi_i))
+        else:
+            seeds.append(int(tok))
+    return seeds
+
+
+def cmd_fuzz(args) -> None:
+    """Seeded adversarial-schedule fuzzing with an invariant oracle.
+
+    Three modes: generate-and-run a seed batch (default), replay a saved
+    schedule/outcome JSON bit-identically (``--replay``), or run the named
+    attack corpus against its expected verdicts (``--corpus``).  Any
+    unexpected violation exits 1 and, in batch mode, writes a minimized
+    still-failing schedule artifact via ddmin shrinking.
+    """
+    import json
+    import os
+
+    from repro.attacks.fuzz import (
+        FuzzSchedule,
+        generate_schedule,
+        run_corpus,
+        run_schedule,
+        shrink_schedule,
+    )
+    from repro.sim.engine import MILLISECONDS
+
+    def describe(schedule) -> str:
+        parts = [f"{len(schedule.attacks)} atk"]
+        if schedule.plan.links:
+            parts.append(f"{len(schedule.plan.links)} links")
+        if schedule.plan.crashes:
+            parts.append(f"{len(schedule.plan.crashes)} crashes")
+        if schedule.delta_piggyback:
+            parts.append("pbd")
+        return ", ".join(parts)
+
+    def report(label: str, outcome) -> None:
+        status = "ok" if outcome.ok else "VIOLATION"
+        lens = "/".join(
+            str(outcome.committed_lens[p]) for p in sorted(outcome.committed_lens)
+        )
+        print(
+            f"  {label:<36} {status:<9} committed={lens} "
+            f"probes={outcome.probe_successes}/{outcome.probe_attempts} "
+            f"digest={outcome.digest[:12]}"
+        )
+        for viol in outcome.violations:
+            print(f"    {viol}")
+        if outcome.safety_violation is not None:
+            print(f"    end-of-run safety: {outcome.safety_violation}")
+
+    # ------------------------------------------------------------------
+    # Corpus mode: every case must match its expected oracle verdict.
+    # ------------------------------------------------------------------
+    if args.corpus is not None:
+        names = list(args.corpus) or None
+        print(f"## FUZZ — attack corpus (seed={args.seed})")
+        verdicts = run_corpus(names, seed=args.seed)
+        mismatches = 0
+        for v in verdicts:
+            expect = "violation" if v.case.expect_violation else "clean"
+            got = "clean" if v.outcome.ok else "violation"
+            mark = "pass" if v.passed else "MISMATCH"
+            print(f"  {v.case.name:<30} expect={expect:<9} got={got:<9} {mark}")
+            if not v.passed:
+                mismatches += 1
+                for viol in v.outcome.violations[:3]:
+                    print(f"    {viol}")
+        print(f"{len(verdicts) - mismatches}/{len(verdicts)} cases matched")
+        if mismatches:
+            raise SystemExit(1)
+        return
+
+    # ------------------------------------------------------------------
+    # Replay mode: re-run a saved schedule (or saved outcome) JSON; when
+    # the artifact carries a digest the replay must be bit-identical.
+    # ------------------------------------------------------------------
+    if args.replay:
+        with open(args.replay) as fh:
+            data = json.load(fh)
+        if "minimized" in data:  # a batch-mode violation artifact
+            data = data["minimized"]
+        saved_digest = data.get("digest")
+        schedule = FuzzSchedule.from_dict(data.get("schedule", data))
+        print(f"## FUZZ — replay {args.replay}")
+        outcome = run_schedule(schedule)
+        report(f"seed {schedule.seed} [{describe(schedule)}]", outcome)
+        if saved_digest is not None:
+            match = saved_digest == outcome.digest
+            print(f"  digest match: {match}")
+            if not match:
+                raise SystemExit(1)
+        elif not outcome.ok:
+            raise SystemExit(1)
+        return
+
+    # ------------------------------------------------------------------
+    # Batch mode: generate honest-majority schedules from a seed range.
+    # ------------------------------------------------------------------
+    seeds = _parse_seed_specs(args.seeds)
+    duration_us = args.duration_ms * MILLISECONDS
+    print(f"## FUZZ — {len(seeds)} generated schedules, n={args.n}")
+    failures = []
+    for seed in seeds:
+        schedule = generate_schedule(seed, n_nodes=args.n, duration_us=duration_us)
+        outcome = run_schedule(schedule)
+        report(f"seed {seed} [{describe(schedule)}]", outcome)
+        if not outcome.ok:
+            failures.append(outcome)
+    print(f"{len(seeds) - len(failures)}/{len(seeds)} schedules clean")
+    if failures:
+        outdir = args.out or "."
+        os.makedirs(outdir, exist_ok=True)
+        for outcome in failures:
+            shrunk = shrink_schedule(outcome.schedule)
+            shrunk_outcome = run_schedule(shrunk)
+            path = os.path.join(
+                outdir, f"fuzz-violation-seed{outcome.schedule.seed}.json"
+            )
+            with open(path, "w") as fh:
+                json.dump(
+                    {
+                        "original": outcome.to_dict(),
+                        "minimized": shrunk_outcome.to_dict(),
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(
+                f"  minimized repro for seed {outcome.schedule.seed} "
+                f"written to {path} "
+                f"(replay with: python -m repro fuzz --replay {path})"
+            )
+        raise SystemExit(1)
+
+
 def _workload_spec_from_args(args, n: int, duration_us: int):
     """Translate the workload CLI flags into a WorkloadSpec."""
     from repro.sim.engine import SECONDS
@@ -843,6 +991,48 @@ def main(argv=None) -> int:
     )
     _add_config_flags(pchaos)
     pchaos.set_defaults(fn=cmd_chaos)
+
+    pfuzz = sub.add_parser(
+        "fuzz",
+        help="seeded adversarial-schedule fuzzing: generate, replay a "
+        "saved schedule, or run the attack corpus",
+    )
+    pfuzz.add_argument(
+        "--seeds",
+        nargs="+",
+        default=["0:10"],
+        metavar="SEED|A:B",
+        help="seeds and/or half-open A:B ranges to fuzz (default 0:10)",
+    )
+    pfuzz.add_argument("--n", type=int, default=4, help="cluster size")
+    pfuzz.add_argument(
+        "--duration-ms", type=int, default=3000, help="virtual duration in ms"
+    )
+    pfuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-run a saved schedule/outcome JSON; with a saved digest "
+        "the replay must be bit-identical",
+    )
+    pfuzz.add_argument(
+        "--corpus",
+        nargs="*",
+        default=None,
+        metavar="CASE",
+        help="run the named attack-corpus cases (no names = all) against "
+        "their expected oracle verdicts",
+    )
+    pfuzz.add_argument(
+        "--seed", type=int, default=1, help="base seed for --corpus runs"
+    )
+    pfuzz.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for minimized violation artifacts (default: cwd)",
+    )
+    pfuzz.set_defaults(fn=cmd_fuzz)
 
     sub.add_parser("all").set_defaults(fn=cmd_all)
     args = parser.parse_args(argv)

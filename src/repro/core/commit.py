@@ -69,6 +69,15 @@ class CommitConfig:
     #: "no change since seq k" marker.  ``locked`` always travels — it
     #: advances with the local clock on every broadcast.
     delta_piggyback: bool = False
+    #: Report quorum k for the min-of-top-k locked/min-pending selection
+    #: (Algorithm 4 lines 83-85).  ``None`` = the safe 2f+1, for which
+    #: Lemmas 4-6 hold: at least f+1 of the top 2f+1 reports are honest,
+    #: so f forged reports can never push the derived bounds past every
+    #: honest one.  Any smaller value is a *deliberately weakened*
+    #: validation knob used by the attack corpus to prove the invariant
+    #: oracle catches the resulting ordering corruption — never set it in
+    #: a real experiment.
+    report_quorum: Optional[int] = None
 
     def resolved_L(self, delta_us: int) -> int:
         return self.max_latency_us if self.max_latency_us is not None else 3 * delta_us
@@ -102,7 +111,13 @@ class CommitState:
         self.vss = vss
         self.config = config or CommitConfig()
         self.L = self.config.resolved_L(services.delta_us)
-        self._quorum_k = 2 * services.f + 1
+        self._quorum_k = (
+            self.config.report_quorum
+            if self.config.report_quorum is not None
+            else 2 * services.f + 1
+        )
+        if self._quorum_k < 1:
+            raise ValueError("report_quorum must be >= 1")
         self.on_commit = on_commit
         self.on_execute = on_execute
 

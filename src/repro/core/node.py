@@ -109,6 +109,10 @@ class NodeStats:
     replayed_txs_dropped: int = 0
     own_batch_latencies_us: List[int] = field(default_factory=list)
     instances_joined: int = 0
+    #: Delta-piggyback recovery: pull signals we sent (a peer's marker
+    #: referenced a full report we never saw) and pulls we answered.
+    pb_pulls_sent: int = 0
+    pb_pulls_served: int = 0
 
 
 class LyraNode(SimProcess):
@@ -225,6 +229,8 @@ class LyraNode(SimProcess):
             "txs_executed": stats.txs_executed,
             "replayed_txs_dropped": stats.replayed_txs_dropped,
             "instances_joined": stats.instances_joined,
+            "pb_pulls_sent": stats.pb_pulls_sent,
+            "pb_pulls_served": stats.pb_pulls_served,
             "messages_received": self.messages_received,
             "recoveries": self.recoveries,
             "incarnation": self.incarnation,
@@ -304,15 +310,24 @@ class LyraNode(SimProcess):
         """Algorithm 4, lines 74-78: piggyback commit state on broadcasts."""
         commit = self.commit
         if commit is not None:
-            if commit.config.delta_piggyback:
-                pbd = commit.piggyback_delta()
-                message.payload["pbd"] = pbd
-                message.size += commit.piggyback_delta_size(pbd)
-            else:
-                message.payload["pb"] = commit.piggyback()
-                message.size += commit.piggyback_size()
+            self._attach_piggyback(message, commit)
         self._charge_send_cost(message)
         self.broadcast(message)
+
+    def _attach_piggyback(self, message: Message, commit: CommitState) -> None:
+        """Attach this broadcast's commit-state report.
+
+        Attack hook: forgery subclasses (``repro.attacks.corpus``) override
+        this one method to ship stale/inflated/forged-marker reports
+        without forking the broadcast path itself.
+        """
+        if commit.config.delta_piggyback:
+            pbd = commit.piggyback_delta()
+            message.payload["pbd"] = pbd
+            message.size += commit.piggyback_delta_size(pbd)
+        else:
+            message.payload["pb"] = commit.piggyback()
+            message.size += commit.piggyback_size()
 
     def _charge_send_cost(self, message: Message) -> None:
         kind = message.kind
@@ -467,6 +482,7 @@ class LyraNode(SimProcess):
             )
         elif "pbd" in payload and self.commit is not None:
             if self.commit.on_status_delta(sender, payload["pbd"]):
+                self.stats.pb_pulls_sent += 1
                 self.send(sender, Message(PB_PULL_KIND, {}, 48))
         kind = message.kind
         handler = self._INSTANCE_HANDLERS.get(kind)
@@ -494,8 +510,18 @@ class LyraNode(SimProcess):
         elif kind == CATCHUP_RSP_KIND:
             self._on_catchup_rsp(payload, sender)
         elif kind == PB_PULL_KIND:
-            if self.commit is not None:
-                self.commit.force_full_piggyback()
+            self._on_pb_pull(sender)
+
+    def _on_pb_pull(self, sender: int) -> None:
+        """A peer missed our last full piggyback report and asks for one.
+
+        Attack hook: a lying responder (``repro.attacks.corpus``) ignores
+        the pull; the protocol tolerates that because the peer's cached
+        report only degrades in freshness, never in safety.
+        """
+        if self.commit is not None:
+            self.stats.pb_pulls_served += 1
+            self.commit.force_full_piggyback()
 
     # ------------------------------------------------------------------
     # Warm-up distance probing (§IV-B1)
@@ -687,11 +713,21 @@ class LyraNode(SimProcess):
         if items:
             if self._metrics_on:
                 self._m_dshares.inc()
-            self.services.broadcast(
-                DSHARE_KIND,
-                {"items": tuple(items)},
-                sum(s.wire_size() for _, s in items),
-            )
+            self._broadcast_decryption_shares(items)
+
+    def _broadcast_decryption_shares(
+        self, items: List[Tuple[InstanceId, Any]]
+    ) -> None:
+        """Commit-reveal, Lemma 7: publish our decryption shares.
+
+        Attack hook: selective-reveal subclasses withhold, delay, or
+        per-victim target this broadcast without touching the commit rule.
+        """
+        self.services.broadcast(
+            DSHARE_KIND,
+            {"items": tuple(items)},
+            sum(s.wire_size() for _, s in items),
+        )
 
     def _on_dshare(self, payload: dict, sender: int) -> None:
         for item in payload.get("items", ()):

@@ -134,6 +134,20 @@ class LyraCluster:
         f = config.resolved_f()
         n = config.n_nodes
 
+        # Resolve config-declared attack replicas through the registry;
+        # explicit builder arguments override them per pid.
+        if config.attack_nodes:
+            from repro.attacks.registry import resolve_attack_nodes
+
+            attack_classes, attack_kwargs = resolve_attack_nodes(
+                config.attack_nodes, n
+            )
+            attack_classes.update(node_classes or {})
+            for pid, extra in (node_kwargs or {}).items():
+                attack_kwargs[pid] = {**attack_kwargs.get(pid, {}), **extra}
+            node_classes = attack_classes
+            node_kwargs = attack_kwargs
+
         self.topology = Topology(n, config.regions)
         self.registry = KeyRegistry(config.seed)
         self.threshold = ThresholdScheme(2 * f + 1, n, seed=config.seed)
@@ -158,6 +172,7 @@ class LyraCluster:
                         if config.delta_piggyback is not None
                         else config.coalesce
                     ),
+                    report_quorum=config.report_quorum,
                 ),
                 status_interval_us=config.status_interval_us,
                 warmup_rounds=config.warmup_rounds,
@@ -226,7 +241,16 @@ class LyraCluster:
         self.fault_injector: Optional[FaultInjector] = None
         plan = config.fault_plan
         if plan is not None and not plan.empty:
-            plan.validate_for(n, f)
+            # Crashes and Byzantine/attack replicas share the resilience
+            # budget: the plan is rejected if they jointly exceed f.
+            byz = tuple(
+                sorted(
+                    pid
+                    for pid, cls in (node_classes or {}).items()
+                    if cls is not LyraNode
+                )
+            )
+            plan.validate_for(n, f, byzantine=byz)
             self.fault_injector = FaultInjector(plan, self.rng)
         self.network = Network(
             self.sim,

@@ -74,6 +74,18 @@ class ExperimentConfig:
     fault_plan: Optional[FaultPlan] = None
     reliable_channels: bool = False
 
+    # Adversarial replicas: pid -> attack spec (a registry name, or
+    # {"name": ..., "kwargs": {...}}), resolved through
+    # ``repro.attacks.registry.ATTACK_NODE_CLASSES`` at cluster build time.
+    # Serialisable, so attack experiments and fuzzer schedules ride the
+    # sweep cache like any other knob.  Explicit ``node_classes`` builder
+    # arguments override entries here per pid.
+    attack_nodes: Optional[Dict[int, Any]] = None
+    #: Commit-protocol report quorum override (``None`` = the safe 2f+1).
+    #: A deliberately weakenable validation knob for the attack corpus —
+    #: see :class:`repro.core.commit.CommitConfig.report_quorum`.
+    report_quorum: Optional[int] = None
+
     # Cost model scaling (1.0 = DESIGN.md §5 calibration).
     cpu_cost_scale: float = 1.0
 
@@ -155,6 +167,18 @@ class ExperimentConfig:
         data["workload"] = (
             self.workload.to_dict() if self.workload is not None else None
         )
+        if self.attack_nodes is not None:
+            # Canonical form: int keys sorted, bare names normalised to
+            # the {"name", "kwargs"} shape (JSON stringifies the keys;
+            # from_dict converts them back).
+            data["attack_nodes"] = {
+                int(pid): (
+                    {"name": spec, "kwargs": {}}
+                    if isinstance(spec, str)
+                    else dict(spec)
+                )
+                for pid, spec in sorted(self.attack_nodes.items())
+            }
         return data
 
     @classmethod
@@ -174,6 +198,11 @@ class ExperimentConfig:
             data["workload"], WorkloadSpec
         ):
             data["workload"] = WorkloadSpec.from_dict(data["workload"])
+        if data.get("attack_nodes") is not None:
+            # JSON object keys are strings; pids are ints.
+            data["attack_nodes"] = {
+                int(pid): spec for pid, spec in data["attack_nodes"].items()
+            }
         return cls(**data)
 
 

@@ -25,7 +25,7 @@ output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.smr import check_output_sorted, check_prefix_consistency, is_prefix
 from repro.sim.engine import MILLISECONDS, Simulator
@@ -103,6 +103,15 @@ class InvariantWatchdog:
         self._last_total_committed = 0
         # A violation is recorded once, not re-reported on every later tick.
         self._seen: Set[Tuple[str, str]] = set()
+        # Pluggable checks (name, fn) run on every sample; fn returns a
+        # detail string on violation, None when clean.  The fuzzer wires
+        # its commit-reveal secrecy oracle in through this.
+        self._extra_checks: List[Tuple[str, Callable[[], Optional[str]]]] = []
+
+    def add_check(self, name: str, fn: Callable[[], Optional[str]]) -> None:
+        """Register a custom invariant: ``fn() -> detail | None`` runs on
+        every periodic sample and the final end-of-run check."""
+        self._extra_checks.append((name, fn))
 
     def start(self) -> None:
         self.sim.schedule(self.interval_us, self._tick)
@@ -151,6 +160,11 @@ class InvariantWatchdog:
                     f"extension of previously observed length {len(last)}",
                 )
             self._last_logs[pid] = log
+
+        for name, fn in self._extra_checks:
+            detail = fn()
+            if detail is not None:
+                self._record(name, detail)
 
         # Post-GST liveness: with ≤ f replicas down and work outstanding,
         # committed totals must keep moving.

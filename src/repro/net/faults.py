@@ -22,7 +22,7 @@ processes), not by the injector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.message import Message
 from repro.sim.engine import MILLISECONDS
@@ -115,27 +115,51 @@ class FaultPlan:
     def empty(self) -> bool:
         return not self.links and not self.crashes
 
-    def validate_for(self, n_nodes: int, f: int) -> None:
-        """Reject schedules the model cannot honour: unknown pids, or more
-        simultaneous crashes than the resilience bound ``f`` allows."""
+    def validate_for(
+        self, n_nodes: int, f: int, byzantine: Sequence[int] = ()
+    ) -> None:
+        """Reject schedules the model cannot honour: unknown pids, or a
+        joint adversary over the resilience bound ``f``.
+
+        Crashed and Byzantine/attack replicas share one budget: at every
+        moment, ``|byzantine ∪ currently-down| <= f`` must hold (a crashed
+        Byzantine replica counts once, not twice).  ``byzantine`` defaults
+        to empty, which reduces to the historical crashes-only bound.
+        """
+        byz = {int(pid) for pid in byzantine}
+        for pid in byz:
+            if not 0 <= pid < n_nodes:
+                raise ValueError(f"byzantine set contains unknown pid {pid}")
+        if len(byz) > f:
+            raise ValueError(
+                f"{len(byz)} Byzantine/attack replicas exceed f={f}"
+            )
         for ev in self.crashes:
             if not 0 <= ev.pid < n_nodes:
                 raise ValueError(f"crash event targets unknown pid {ev.pid}")
-        # Count the worst-case number of simultaneously-down replicas.
+        # Worst-case joint adversary at each crash/recover moment.
         moments = sorted(
             {ev.crash_at_us for ev in self.crashes}
             | {ev.recover_at_us for ev in self.crashes if ev.recover_at_us}
         )
         for t in moments:
-            down = sum(
-                1
+            down = {
+                ev.pid
                 for ev in self.crashes
                 if ev.crash_at_us <= t
                 and (ev.recover_at_us is None or t < ev.recover_at_us)
-            )
-            if down > f:
+            }
+            if len(down) > f:
                 raise ValueError(
-                    f"{down} replicas down simultaneously at t={t}us exceeds f={f}"
+                    f"{len(down)} replicas down simultaneously at t={t}us "
+                    f"exceeds f={f}"
+                )
+            joint = len(down | byz)
+            if joint > f:
+                raise ValueError(
+                    f"{len(down - byz)} crashed plus {len(byz)} "
+                    f"Byzantine/attack replicas at t={t}us jointly exceed "
+                    f"f={f}"
                 )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,276 @@
+"""Adversarial-schedule fuzzer tests: schedule generation is a pure
+function of the seed, saved schedules replay bit-identically from JSON,
+the ddmin shrinker minimizes failing schedules, and custom watchdog
+checks catch violations that only manifest at the end of a run."""
+
+import json
+
+import pytest
+
+from repro.attacks.fuzz import (
+    AttackAssignment,
+    FuzzSchedule,
+    generate_schedule,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.net.faults import CrashEvent, FaultPlan, LinkFault
+from repro.sim.engine import MILLISECONDS, SECONDS
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        for seed in (0, 3, 11):
+            assert (
+                generate_schedule(seed).to_dict()
+                == generate_schedule(seed).to_dict()
+            )
+
+    def test_different_seeds_differ(self):
+        dicts = [generate_schedule(s).to_dict() for s in range(8)]
+        assert len({json.dumps(d, sort_keys=True) for d in dicts}) > 1
+
+    def test_generated_schedules_respect_joint_budget(self):
+        for seed in range(20):
+            s = generate_schedule(seed)
+            # Must not raise: attackers ∪ simultaneous crashes ≤ f.
+            s.plan.validate_for(s.n_nodes, s.resolved_f(), s.attacker_pids())
+
+    def test_json_round_trip_is_exact(self):
+        for seed in range(6):
+            s = generate_schedule(seed)
+            back = FuzzSchedule.from_dict(json.loads(json.dumps(s.to_dict())))
+            assert back == s
+
+    def test_unknown_schedule_fields_rejected(self):
+        data = generate_schedule(0).to_dict()
+        data["junk"] = 1
+        with pytest.raises(ValueError, match="junk"):
+            FuzzSchedule.from_dict(data)
+
+    def test_attack_assignment_validates_name(self):
+        with pytest.raises(ValueError):
+            AttackAssignment(1, "no-such-attack")
+        a = AttackAssignment(1, "selective-reveal", {"mode": "delay"})
+        assert a.kwargs_dict() == {"mode": "delay"}
+        assert AttackAssignment.from_dict(a.to_dict()) == a
+
+    def test_to_config_maps_knobs(self):
+        s = FuzzSchedule(
+            seed=5,
+            attacks=(AttackAssignment(1, "piggyback-forgery"),),
+            delta_piggyback=True,
+            report_quorum=1,
+            plan=FaultPlan(links=(LinkFault(drop_rate=0.1),)),
+            reliable_channels=True,
+        )
+        cfg = s.to_config()
+        assert cfg.seed == 5
+        assert cfg.delta_piggyback is True
+        assert cfg.report_quorum == 1
+        assert cfg.reliable_channels is True
+        assert cfg.attack_nodes == {
+            1: {"name": "piggyback-forgery", "kwargs": {}}
+        }
+        assert cfg.fault_plan is s.plan
+
+
+class TestReplayDeterminism:
+    def test_same_schedule_same_digest(self):
+        s = generate_schedule(8)  # no attackers: light and fast
+        a = run_schedule(s)
+        b = run_schedule(s)
+        assert a.digest == b.digest
+        assert a.committed_lens == b.committed_lens
+
+    def test_replay_from_json_is_bit_identical(self):
+        """The corpus-replay acceptance criterion: dump a schedule to
+        JSON, rebuild it, and the rerun produces the same digest."""
+        s = generate_schedule(0)
+        original = run_schedule(s)
+        rebuilt = FuzzSchedule.from_dict(json.loads(json.dumps(s.to_dict())))
+        replay = run_schedule(rebuilt)
+        assert replay.digest == original.digest
+        assert replay.violations == original.violations
+
+
+class TestShrinking:
+    def _fat_schedule(self):
+        return FuzzSchedule(
+            seed=1,
+            attacks=(
+                AttackAssignment(0, "cipher-replay"),
+                AttackAssignment(1, "piggyback-forgery"),
+            ),
+            plan=FaultPlan(
+                links=(
+                    LinkFault(drop_rate=0.1),
+                    LinkFault(duplicate_rate=0.05),
+                ),
+                crashes=(CrashEvent(pid=2, crash_at_us=1 * SECONDS),),
+            ),
+            reliable_channels=True,
+        )
+
+    def test_shrinks_to_single_culprit_component(self):
+        # Oracle stub: the failure needs only the pid-1 attacker.
+        failing = lambda s: any(a.pid == 1 for a in s.attacks)
+        small = shrink_schedule(self._fat_schedule(), failing)
+        assert [a.pid for a in small.attacks] == [1]
+        assert small.plan.links == ()
+        assert small.plan.crashes == ()
+
+    def test_shrink_preserves_knobs(self):
+        fat = self._fat_schedule()
+        fat = FuzzSchedule(
+            **{
+                **{f: getattr(fat, f) for f in (
+                    "seed", "n_nodes", "duration_us", "batch_size",
+                    "client_window", "attacks", "plan", "reliable_channels",
+                )},
+                "report_quorum": 1,
+                "delta_piggyback": True,
+            }
+        )
+        small = shrink_schedule(fat, lambda s: True)
+        assert small.report_quorum == 1
+        assert small.delta_piggyback is True
+
+    def test_shrink_keeps_failing_pair(self):
+        # Failure needs the crash AND one specific link fault together.
+        def failing(s):
+            return bool(s.plan.crashes) and any(
+                lf.drop_rate > 0 for lf in s.plan.links
+            )
+
+        small = shrink_schedule(self._fat_schedule(), failing)
+        assert failing(small)
+        assert small.attacks == ()
+        assert len(small.plan.links) == 1
+        assert len(small.plan.crashes) == 1
+
+    def test_shrink_respects_run_budget(self):
+        calls = []
+
+        def failing(s):
+            calls.append(s)
+            return True
+
+        shrink_schedule(self._fat_schedule(), failing, max_runs=3)
+        assert len(calls) <= 3
+
+
+class TestWatchdogExtraChecks:
+    def _dog(self):
+        from repro.metrics.invariants import InvariantWatchdog
+        from repro.sim.engine import Simulator
+
+        class FakeNode:
+            def __init__(self, pid):
+                self.pid = pid
+                self.crashed = False
+
+            def output_sequence(self):
+                return []
+
+        sim = Simulator()
+        return InvariantWatchdog(sim, [FakeNode(0), FakeNode(1)], f=0)
+
+    def test_extra_check_runs_every_sample(self):
+        dog = self._dog()
+        seen = []
+        dog.add_check("probe", lambda: seen.append(1) or None)
+        dog.check_now()
+        dog.check_now()
+        assert len(seen) == 2
+        assert dog.report.ok
+
+    def test_late_manifesting_violation_caught_at_end_of_run(self):
+        """A violation that only appears on the final end-of-run sample
+        (after the last periodic tick) must still be recorded."""
+        dog = self._dog()
+        armed = []
+        dog.add_check(
+            "late", lambda: "boom at the end" if armed else None
+        )
+        dog.check_now()  # periodic samples: clean
+        assert dog.report.ok
+        armed.append(True)  # state goes bad after the last tick
+        dog.check_now()  # the cluster's final end-of-run sample
+        assert not dog.report.ok
+        assert any(v.check == "late" for v in dog.report.violations)
+
+    def test_cluster_final_sample_catches_late_violation(self):
+        """LyraCluster.run performs one check_now after the simulator
+        drains, so a check that only fires at/after the configured
+        duration still lands in the result."""
+        from repro.harness import ExperimentConfig, build_cluster
+
+        cfg = ExperimentConfig(
+            n_nodes=4,
+            seed=1,
+            batch_size=8,
+            clients_per_node=1,
+            client_window=3,
+            duration_us=2 * SECONDS,
+            warmup_rounds=2,
+            warmup_spacing_us=150 * MILLISECONDS,
+        )
+        cluster = build_cluster(cfg, protocol="lyra")
+        cluster.watchdog.add_check(
+            "end-only",
+            lambda: (
+                "only visible at the end"
+                if cluster.sim.now >= cfg.duration_us
+                else None
+            ),
+        )
+        result = cluster.run(skip_safety_check=True)
+        assert any("end-only" in v for v in result.invariant_violations)
+
+
+class TestFuzzCli:
+    def test_fuzz_batch_clean(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["fuzz", "--seeds", "8", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2/2 schedules clean" in out
+
+    def test_fuzz_seed_range_expansion(self):
+        from repro.__main__ import _parse_seed_specs
+
+        assert _parse_seed_specs(["0:3", "7"]) == [0, 1, 2, 7]
+        with pytest.raises(SystemExit):
+            _parse_seed_specs(["5:5"])
+
+    def test_fuzz_corpus_subset(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["fuzz", "--corpus", "pb-forge-stale"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1/1 cases matched" in out
+
+    def test_fuzz_replay_digest_match(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        outcome = run_schedule(generate_schedule(8))
+        path = tmp_path / "saved.json"
+        path.write_text(json.dumps(outcome.to_dict()))
+        rc = main(["fuzz", "--replay", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "digest match: True" in out
+
+    def test_fuzz_replay_digest_mismatch_fails(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        outcome = run_schedule(generate_schedule(8))
+        data = outcome.to_dict()
+        data["digest"] = "0" * 64
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--replay", str(path)])
