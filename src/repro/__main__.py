@@ -81,6 +81,7 @@ def _config_from_args(args, n: int, seed: int):
         duration_us=args.duration_ms * MILLISECONDS,
         warmup_rounds=args.warmup_rounds,
         warmup_spacing_us=150 * MILLISECONDS,
+        backend=getattr(args, "backend", "python"),
     )
 
 
@@ -93,6 +94,12 @@ def _add_config_flags(parser) -> None:
         "--duration-ms", type=int, default=4000, help="virtual duration in ms"
     )
     parser.add_argument("--warmup-rounds", type=int, default=2)
+    parser.add_argument(
+        "--backend",
+        choices=["python", "vector"],
+        default="python",
+        help="simulation backend (decided prefixes are bit-identical)",
+    )
 
 
 def cmd_fig1(args) -> None:
@@ -634,10 +641,18 @@ def cmd_bench(args) -> None:
         macro_duration_ms=args.duration_ms,
         coalesce=args.coalesce,
         observability=args.observability,
+        backend=args.backend,
+        backend_twins=args.backends,
+        profile=args.profile,
     )
     out = args.out or default_output_path()
     path = write_report(report, out)
     print(f"\n## BENCH — wrote {path}")
+    env = report.get("environment", {})
+    print(
+        f"environment: python={env.get('python')} numpy={env.get('numpy')} "
+        f"blas={env.get('blas')} cpu={env.get('cpu')}"
+    )
     headline = report["macro"][report["headline"]]
     print(
         f"headline: {report['headline']} "
@@ -651,7 +666,29 @@ def cmd_bench(args) -> None:
         f"caches: digest hit-rate={digest.get('hit_rate', 0.0)} "
         f"signature-verify hit-rate={sig.get('hit_rate', 0.0)}"
     )
+    if args.profile:
+        for cname, cell in report["macro"].items():
+            rows = cell.get("profile_top")
+            if not rows:
+                continue
+            print(f"\nprofile: {cname} (top {len(rows)} by cumulative time)")
+            for row in rows:
+                print(
+                    f"  {row['cumtime_s']:>9.3f}s cum {row['tottime_s']:>9.3f}s "
+                    f"tot {row['ncalls']:>9} calls  {row['function']}"
+                )
     failed = False
+    if args.backends:
+        from repro.bench.suite import check_backend_equivalence
+
+        eq_failures = check_backend_equivalence(report)
+        if eq_failures:
+            print("\nBENCH BACKEND EQUIVALENCE: FAIL")
+            for f in eq_failures:
+                print(f"  - {f}")
+            failed = True
+        else:
+            print("\nBENCH BACKEND EQUIVALENCE: PASS (all twin digests identical)")
     if args.observability:
         from repro.bench.suite import check_observability
 
@@ -885,8 +922,27 @@ def main(argv=None) -> int:
     pbench.add_argument(
         "--observability",
         action="store_true",
-        help="also run a tracing+metrics headline cell and fail on >5% "
+        help="also run a tracing+metrics headline cell and fail on >5%% "
         "events/sec overhead or decided-prefix digest drift",
+    )
+    pbench.add_argument(
+        "--backend",
+        choices=["python", "vector"],
+        default="python",
+        help="simulation backend every macro cell runs on (default python)",
+    )
+    pbench.add_argument(
+        "--backends",
+        action="store_true",
+        help="re-run each macro cell on the other backend and fail on any "
+        "decided-prefix digest divergence between the pair",
+    )
+    pbench.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each macro cell in cProfile and report the top-20 "
+        "functions by cumulative time (events/sec then carries profiler "
+        "overhead and is excluded from baseline comparison)",
     )
     pbench.add_argument(
         "--max-slowdown",

@@ -8,7 +8,9 @@ decided-prefix digest against a checked-in baseline (``BENCH_<date>.json``).
 from repro.bench.suite import (
     BENCH_SCHEMA_VERSION,
     check_against_baseline,
+    check_backend_equivalence,
     default_output_path,
+    environment_block,
     run_bench_suite,
 )
 
@@ -16,5 +18,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "run_bench_suite",
     "check_against_baseline",
+    "check_backend_equivalence",
     "default_output_path",
+    "environment_block",
 ]

@@ -60,6 +60,47 @@ def default_output_path(directory: str | Path = ".") -> Path:
 
 
 # ----------------------------------------------------------------------
+# Environment provenance
+# ----------------------------------------------------------------------
+def _cpu_model() -> Optional[str]:
+    """The host CPU model string (Linux), or a platform fallback."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
+
+
+def environment_block() -> Dict[str, Any]:
+    """Provenance header for bench reports: two hosts (or two numpy/BLAS
+    builds) are not throughput-comparable, so every report records what it
+    ran on."""
+    env: Dict[str, Any] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu": _cpu_model(),
+        "numpy": None,
+        "blas": None,
+    }
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep in CI
+        return env
+    env["numpy"] = numpy.__version__
+    try:
+        cfg = numpy.show_config(mode="dicts")
+        blas = (cfg.get("Build Dependencies") or {}).get("blas") or {}
+        env["blas"] = blas.get("name") or None
+    except (TypeError, AttributeError, ValueError):
+        # Older numpy: show_config prints instead of returning dicts.
+        pass
+    return env
+
+
+# ----------------------------------------------------------------------
 # Micro benches
 # ----------------------------------------------------------------------
 def _timed(body: Callable[[], int]) -> Dict[str, Any]:
@@ -288,13 +329,48 @@ def _cache_snapshot(cluster) -> Dict[str, Dict[str, Any]]:
     return caches
 
 
-def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, Any]:
+def _profile_top(prof, limit: int = 20) -> List[Dict[str, Any]]:
+    """The ``limit`` most expensive functions by cumulative time."""
+    import pstats
+
+    stats = pstats.Stats(prof)
+    rows: List[Dict[str, Any]] = []
+    ranked = sorted(stats.stats.items(), key=lambda kv: kv[1][3], reverse=True)
+    for (filename, lineno, funcname), (_cc, ncalls, tottime, cumtime, _callers) in ranked[
+        :limit
+    ]:
+        short = filename
+        marker = "/repro/"
+        if marker in short:
+            short = "repro/" + short.split(marker, 1)[1]
+        rows.append(
+            {
+                "function": f"{short}:{lineno}({funcname})",
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 4),
+                "cumtime_s": round(cumtime, 4),
+            }
+        )
+    return rows
+
+
+def _run_macro_cell(
+    name: str, config, *, protocol: str = "lyra", profile: bool = False
+) -> Dict[str, Any]:
     from repro.harness.factory import build_cluster
 
     cluster = build_cluster(config, protocol=protocol)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
     result = cluster.run()
     wall = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
     events = result.events_processed
     # events/sec is a hot-path throughput measure: divide by the event
     # loop's own wall time, not the full run() (which also consolidates
@@ -304,6 +380,7 @@ def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, A
     cell = {
         "n": config.n_nodes,
         "seed": config.seed,
+        "backend": config.backend,
         "duration_ms": config.duration_us // 1000,
         "events": events,
         "wall_s": round(wall, 3),
@@ -325,6 +402,11 @@ def _run_macro_cell(name: str, config, *, protocol: str = "lyra") -> Dict[str, A
         cell["frames_sent"] = wire["frames_sent"]
         cell["wire_messages_sent"] = wire["messages_sent"]
         cell["coalescing_ratio"] = wire["coalescing_ratio"]
+    if profiler is not None:
+        # Profiled cells carry instrumentation overhead: their events/sec
+        # is not baseline-comparable and the checker skips it.
+        cell["profiled"] = True
+        cell["profile_top"] = _profile_top(profiler)
     return cell
 
 
@@ -338,6 +420,9 @@ def run_bench_suite(
     macro_duration_ms: Optional[int] = None,
     coalesce: bool = False,
     observability: bool = False,
+    backend: str = "python",
+    backend_twins: bool = False,
+    profile: bool = False,
     progress: Optional[Callable[[str], None]] = print,
 ) -> Dict[str, Any]:
     """Run the full suite and return the report dict.
@@ -352,6 +437,13 @@ def run_bench_suite(
     ``observability`` adds an ``*_observed`` headline variant with span
     tracing and the metrics registry enabled — ``check_observability``
     then gates its cost (<5% events/sec overhead, identical digest).
+    ``backend`` runs every macro cell on that simulation backend;
+    ``backend_twins`` re-runs each macro cell on the *other* backend as a
+    ``<cell>_<backend>`` twin — ``check_backend_equivalence`` then fails
+    on any decided-prefix digest divergence between the pair.
+    ``profile`` wraps each macro cell in cProfile and attaches the top-20
+    cumulative functions (``profile_top``); profiled events/sec carries
+    instrumentation overhead and is excluded from baseline comparison.
     """
     import dataclasses
 
@@ -370,20 +462,51 @@ def run_bench_suite(
     else:
         headline = "goodcase_n32"
         cfg = _goodcase_config(macro_n or 32, macro_duration_ms or 3000)
-    say(f"macro: {headline} (n={cfg.n_nodes}, {cfg.duration_us // 1000} ms) ...")
-    macro[headline] = _run_macro_cell(headline, cfg)
-    say(f"macro: chaos_smoke ...")
-    macro["chaos_smoke"] = _run_macro_cell("chaos_smoke", _chaos_config())
-    if coalesce:
-        for name, base_cfg in ((headline, cfg), ("chaos_smoke", _chaos_config())):
-            cname = f"{name}_coalesced"
-            say(f"macro: {cname} (window={COALESCE_BENCH_WINDOW_US} us) ...")
-            ccfg = dataclasses.replace(
-                base_cfg,
-                coalesce=True,
-                coalesce_window_us=COALESCE_BENCH_WINDOW_US,
+    cfg = dataclasses.replace(cfg, backend=backend)
+
+    cells: List[Tuple[str, Any]] = [(headline, cfg)]
+    cells.append(
+        ("chaos_smoke", dataclasses.replace(_chaos_config(), backend=backend))
+    )
+    if not quick:
+        # The scaling oracle: ten times the paper's n, long enough for the
+        # pipeline to fill.  Its digest is checked in like every other
+        # cell's, so both backends (and future builds) must reproduce the
+        # n=100 schedule bit-for-bit.
+        cells.append(
+            (
+                "goodcase_n100",
+                dataclasses.replace(_goodcase_config(100, 1000), backend=backend),
             )
-            macro[cname] = _run_macro_cell(cname, ccfg)
+        )
+    if coalesce:
+        for name, base_cfg in list(cells):
+            if name == "goodcase_n100":
+                continue
+            cells.append(
+                (
+                    f"{name}_coalesced",
+                    dataclasses.replace(
+                        base_cfg,
+                        coalesce=True,
+                        coalesce_window_us=COALESCE_BENCH_WINDOW_US,
+                    ),
+                )
+            )
+    for name, cell_cfg in cells:
+        say(
+            f"macro: {name} (n={cell_cfg.n_nodes}, "
+            f"{cell_cfg.duration_us // 1000} ms, {cell_cfg.backend}) ..."
+        )
+        macro[name] = _run_macro_cell(name, cell_cfg, profile=profile)
+    if backend_twins:
+        twin = "vector" if backend == "python" else "python"
+        for name, cell_cfg in cells:
+            tname = f"{name}_{twin}"
+            say(f"macro: {tname} (backend twin) ...")
+            macro[tname] = _run_macro_cell(
+                tname, dataclasses.replace(cell_cfg, backend=twin), profile=profile
+            )
     if observability:
         oname = f"{headline}_observed"
         say(f"macro: {oname} (tracing + metrics on) ...")
@@ -454,7 +577,9 @@ def run_bench_suite(
         "generated": date.today().isoformat(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "environment": environment_block(),
         "quick": quick,
+        "backend": backend,
         "headline": headline,
         "suite_wall_s": round(time.perf_counter() - suite_start, 3),
         "micro": micro,
@@ -480,6 +605,46 @@ def _cell_shape(cell: Dict[str, Any]) -> tuple:
         cell.get("duration_ms"),
         bool(cell.get("coalesced")),
     )
+
+
+def check_backend_equivalence(report: Dict[str, Any]) -> List[str]:
+    """Cross-backend determinism gate within one report.
+
+    ``run_bench_suite(backend_twins=True)`` runs every macro cell on both
+    backends; the ``<cell>_python``/``<cell>_vector`` twin must reproduce
+    the base cell's decided-prefix digest and event count exactly.
+    Returns failure strings (empty = both backends ran bit-identically).
+    """
+    failures: List[str] = []
+    macro = report.get("macro", {})
+    pairs = 0
+    for name, twin_cell in macro.items():
+        for suffix in ("_python", "_vector"):
+            if not name.endswith(suffix):
+                continue
+            base = macro.get(name[: -len(suffix)])
+            if base is None:
+                continue
+            pairs += 1
+            if twin_cell.get("prefix_sha256") != base.get("prefix_sha256"):
+                failures.append(
+                    f"{name}: decided-prefix digest "
+                    f"{twin_cell.get('prefix_sha256')} != "
+                    f"{base.get('backend', 'base')} cell "
+                    f"{base.get('prefix_sha256')} (backend divergence)"
+                )
+            if twin_cell.get("events") != base.get("events"):
+                failures.append(
+                    f"{name}: {twin_cell.get('events')} events != "
+                    f"{base.get('events')} on the "
+                    f"{base.get('backend', 'base')} backend"
+                )
+    if pairs == 0:
+        failures.append(
+            "report has no backend twin cells "
+            "(run the suite with backend_twins=True)"
+        )
+    return failures
 
 
 def check_against_baseline(
@@ -522,7 +687,7 @@ def check_against_baseline(
                 f"!= baseline {base['prefix_sha256']} (determinism regression)"
             )
         base_eps = base.get("events_per_s", 0.0)
-        if base_eps:
+        if base_eps and not cell.get("profiled"):
             floor = base_eps * (1.0 - tolerance)
             if cell.get("events_per_s", 0.0) < floor:
                 failures.append(
@@ -590,7 +755,9 @@ __all__ = [
     "OBSERVABILITY_MAX_OVERHEAD",
     "OBSERVABILITY_REPEATS",
     "check_observability",
+    "check_backend_equivalence",
     "COALESCE_BENCH_WINDOW_US",
+    "environment_block",
     "run_bench_suite",
     "write_report",
     "check_against_baseline",

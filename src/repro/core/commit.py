@@ -153,6 +153,20 @@ class CommitState:
         self._pb_force_full = False
         self._peer_pb: Dict[int, Tuple[int, int]] = {}  # sender -> (seq, minp)
         self._pull_pending: Set[int] = set()
+        # Sender-side memo of the ``acc`` tuple and its summed wire size:
+        # the accepted set mutates far less often than the node
+        # broadcasts, so consecutive piggybacks share one tuple object.
+        # Keyed on ``_acc_version``; restore()/adopt_entry() mutate
+        # ``accepted`` without bumping the version (bumping would change
+        # the delta-report cadence), so they reset the key instead.
+        self._pb_acc_cache: Tuple[AcceptedEntry, ...] = ()
+        self._pb_acc_size = 0
+        self._pb_acc_key: Optional[int] = None
+        # Receiver-side twin: the exact accepted tuple last scanned per
+        # sender.  Re-scanning the same object is a guaranteed no-op
+        # (``_accepted_ever``/``committed_ids`` only grow between
+        # restores), so identity lets us skip the loop entirely.
+        self._seen_acc: Dict[int, Sequence[AcceptedEntry]] = {}
 
         # Commit-reveal machinery.
         self.ciphers: Dict[InstanceId, Any] = {}
@@ -274,18 +288,27 @@ class CommitState:
     # ------------------------------------------------------------------
     # Piggybacking (lines 74-78)
     # ------------------------------------------------------------------
+    def _acc_tuple(self) -> Tuple[AcceptedEntry, ...]:
+        """``tuple(self.accepted.values())``, memoised until the set mutates."""
+        if self._pb_acc_key != self._acc_version:
+            self._pb_acc_cache = tuple(self.accepted.values())
+            self._pb_acc_size = sum(e.wire_size() for e in self._pb_acc_cache)
+            self._pb_acc_key = self._acc_version
+        return self._pb_acc_cache
+
     def piggyback(self) -> dict:
         """The three fields attached to every broadcast."""
         return {
             "locked": self.clock.read() - self.L,
             "minp": self.min_pending,
-            "acc": tuple(self.accepted.values()),
+            "acc": self._acc_tuple(),
         }
 
     def piggyback_size(self) -> int:
         # locked + minp + Merkle root standing in for older prefixes +
         # the incremental accepted entries.
-        return 8 + 8 + 32 + sum(e.wire_size() for e in self.accepted.values())
+        self._acc_tuple()
+        return 8 + 8 + 32 + self._pb_acc_size
 
     def piggyback_delta(self) -> dict:
         """Delta-encoded piggyback (§V-C): ``l`` (locked) always travels;
@@ -303,7 +326,7 @@ class CommitState:
         return {
             "l": locked,
             "m": self.min_pending,
-            "a": tuple(self.accepted.values()),
+            "a": self._acc_tuple(),
             "s": self._pb_seq,
         }
 
@@ -362,7 +385,8 @@ class CommitState:
             insort(ps, min_j)
             reports[sender] = min_j
             changed = True
-        if accepted_j:
+        if accepted_j and self._seen_acc.get(sender) is not accepted_j:
+            self._seen_acc[sender] = accepted_j
             accepted_ever = self._accepted_ever
             committed_ids = self.committed_ids
             for entry in accepted_j:
@@ -616,6 +640,10 @@ class CommitState:
         self._plaintexts = dict(snap.plaintexts)
         self.committed_ids = {e.instance for e in self.output_log}
         self._accepted_ever = set(self.committed_ids)
+        # ``accepted`` changed without an _acc_version bump, and
+        # ``_accepted_ever`` shrank: drop both piggyback memos.
+        self._pb_acc_key = None
+        self._seen_acc.clear()
 
     def begin_catchup(self) -> None:
         self.catching_up = True
@@ -641,7 +669,9 @@ class CommitState:
             return False
         self.committed_ids.add(entry.instance)
         self._accepted_ever.add(entry.instance)
-        self.accepted.pop(entry.instance, None)
+        if self.accepted.pop(entry.instance, None) is not None:
+            # Mutation without an _acc_version bump — drop the acc memo.
+            self._pb_acc_key = None
         if self.pending.pop(entry.instance, None) is not None:
             self._recompute_min_pending()
         self._commit_dirty = True

@@ -52,7 +52,7 @@ from repro.core.vvb import (
     VOTE0_KIND,
     VOTE1_KIND,
 )
-from repro.crypto.cost import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.cost import CryptoCosts, DEFAULT_COSTS, ReceiveChargePlan
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import ThresholdScheme
 from repro.net.message import Message
@@ -141,6 +141,8 @@ class LyraNode(SimProcess):
         self.config = config or LyraConfig()
         self.rng = (rng or RngRegistry(0)).get("node", str(pid))
         self.costs = self.config.costs
+        # Batched charging for coalesced frames: one summed acquire.
+        self._charge_plan = ReceiveChargePlan(self._RECEIVE_COSTS, self._receive_cost)
 
         self.clock = OrderingClock(
             sim,
@@ -418,7 +420,9 @@ class LyraNode(SimProcess):
         else:
             # ``partial`` over a bound method beats a closure here: no cell
             # allocation, and the epoch guard lives in one shared function.
-            self.sim.schedule(
+            # ``schedule_light``: the completion is never cancelled, so the
+            # arena backend may skip the Event record.
+            self.sim.schedule_light(
                 done_at - now,
                 partial(self._process_deferred, message, sender, self.incarnation),
             )
@@ -437,11 +441,7 @@ class LyraNode(SimProcess):
         if self.crashed:
             return
         self.messages_received += len(messages)
-        costs_get = self._RECEIVE_COSTS.get
-        cost = 0
-        for message in messages:
-            c = costs_get(message.kind)
-            cost += c if c is not None else self._receive_cost(message)
+        cost = self._charge_plan.total_us(messages)
         now = self.sim._now
         cpu = self.cpu
         if cpu._speed == 1.0:
@@ -456,7 +456,7 @@ class LyraNode(SimProcess):
             for message in messages:
                 self._process(message, sender)
         else:
-            self.sim.schedule(
+            self.sim.schedule_light(
                 done_at - now,
                 partial(
                     self._process_batch_deferred, messages, sender, self.incarnation

@@ -29,7 +29,7 @@ class MemoCache:
     miss sentinel returned by :meth:`get`.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "peak", "_entries")
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity < 1:
@@ -38,6 +38,11 @@ class MemoCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: High-water occupancy.  Id-keyed caches evict through weakref
+        #: callbacks (:meth:`discard`), so end-of-run ``size`` can read 0
+        #: even after millions of hits — ``peak`` records how big the
+        #: table actually got.
+        self.peak = 0
         self._entries: Dict[Hashable, Any] = {}
 
     def __len__(self) -> int:
@@ -68,6 +73,8 @@ class MemoCache:
                 del entries[stale]
             self.evictions += len(oldest)
         entries[key] = value
+        if len(entries) > self.peak:
+            self.peak = len(entries)
         return value
 
     def discard(self, key: Hashable) -> None:
@@ -79,6 +86,7 @@ class MemoCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.peak = 0
 
     def stats(self) -> Dict[str, Any]:
         total = self.hits + self.misses
@@ -87,6 +95,7 @@ class MemoCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "size": len(self._entries),
+            "peak": self.peak,
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
         }
 

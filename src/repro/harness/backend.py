@@ -1,0 +1,88 @@
+"""Simulation-backend selection for the cluster builders.
+
+``ExperimentConfig.backend`` picks the engine at ``build_cluster`` time:
+
+- ``"python"`` — the reference implementation: :class:`~repro.sim.engine.
+  Simulator`, scalar-buffered :class:`~repro.net.latency.GeoLatencyModel`
+  jitter, scalar :class:`~repro.net.faults.FaultInjector` draws.  This is
+  the bit-determinism oracle every optimisation is validated against.
+- ``"vector"`` — the accelerated backend: :class:`~repro.sim.arena.
+  ArenaSimulator` (no per-event records on fire-and-forget paths, recycled
+  bucket storage), :class:`~repro.net.latency.VectorGeoLatencyModel`
+  (one numpy draw per broadcast fan-out) and :class:`~repro.net.faults.
+  VectorFaultInjector` (blocked per-link uniforms).  Schedules remain a
+  pure function of ``(seed, config)``: decided-prefix digests are
+  identical to the python backend, which the bench suite and the
+  backend-equivalence tests enforce.
+
+The accelerated classes are imported lazily so the default path never
+touches them — a broken or missing vector module can only ever fail runs
+that asked for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness.config import ExperimentConfig
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Recognised ``ExperimentConfig.backend`` values.
+BACKENDS = ("python", "vector")
+
+
+def resolve_backend(config: ExperimentConfig) -> str:
+    """The validated backend name of ``config``."""
+    backend = getattr(config, "backend", "python")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}: expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def make_simulator(config: ExperimentConfig) -> Simulator:
+    """The event loop the cluster runs on."""
+    if resolve_backend(config) == "vector":
+        from repro.sim.arena import ArenaSimulator
+
+        return ArenaSimulator()
+    return Simulator()
+
+
+def make_latency_model(
+    config: ExperimentConfig, placement, rng: RngRegistry
+) -> LatencyModel:
+    """The WAN model: uniform (jitter-free) beats backend choice."""
+    if config.uniform_delay_us is not None:
+        # Jitter-free uniform links draw nothing, so there is nothing to
+        # vectorise; both backends share one implementation.
+        return UniformLatencyModel(config.uniform_delay_us)
+    if resolve_backend(config) == "vector":
+        from repro.net.latency import VectorGeoLatencyModel
+
+        return VectorGeoLatencyModel(placement, jitter=config.jitter, rng=rng)
+    return GeoLatencyModel(placement, jitter=config.jitter, rng=rng)
+
+
+def make_fault_injector(
+    config: ExperimentConfig, plan: FaultPlan, rng: RngRegistry
+) -> FaultInjector:
+    """The link-fault executor for ``plan``."""
+    if resolve_backend(config) == "vector":
+        from repro.net.faults import VectorFaultInjector
+
+        return VectorFaultInjector(plan, rng)
+    return FaultInjector(plan, rng)
+
+
+__all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "make_simulator",
+    "make_latency_model",
+    "make_fault_injector",
+]

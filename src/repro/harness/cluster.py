@@ -22,17 +22,21 @@ from repro.core.smr import check_output_sorted, check_prefix_consistency
 from repro.crypto.cost import DEFAULT_COSTS
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import ThresholdScheme
+from repro.harness.backend import (
+    make_fault_injector,
+    make_latency_model,
+    make_simulator,
+)
 from repro.harness.config import ExperimentConfig
 from repro.metrics.invariants import InvariantWatchdog
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracelog import TraceLog, install_lyra_tracing
 from repro.net.adversary import NullAdversary, PartialSynchronyAdversary
 from repro.net.faults import FaultInjector
-from repro.net.latency import GeoLatencyModel, UniformLatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
 from repro.metrics.fairness import fairness_block
-from repro.sim.engine import SECONDS, Simulator
+from repro.sim.engine import SECONDS
 from repro.sim.rng import RngRegistry
 from repro.workload.clients import TxKey, _BaseClient
 from repro.workload.kvstore import KvStore
@@ -129,7 +133,7 @@ class LyraCluster:
         node_kwargs: Optional[Dict[int, dict]] = None,
     ) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = make_simulator(config)
         self.rng = RngRegistry(config.seed)
         f = config.resolved_f()
         n = config.n_nodes
@@ -216,16 +220,10 @@ class LyraCluster:
         )
         self.clients: List[_BaseClient] = self.workload.clients
 
-        # Network.
-        if config.uniform_delay_us is not None:
-            # Jitter-free uniform links: every one-way hop costs exactly
-            # the configured delay, so phase decompositions are checkable
-            # against the paper's message-delay counts (3 for BOC).
-            latency = UniformLatencyModel(config.uniform_delay_us)
-        else:
-            latency = GeoLatencyModel(
-                self.topology.placement, jitter=config.jitter, rng=self.rng
-            )
+        # Network.  The latency model is backend-selected: uniform links
+        # (jitter-free, analytically checkable) are shared, the geo matrix
+        # gets the scalar or numpy-batched jitter implementation.
+        latency = make_latency_model(config, self.topology.placement, self.rng)
         adversary = (
             PartialSynchronyAdversary(
                 config.gst_us,
@@ -251,7 +249,7 @@ class LyraCluster:
                 )
             )
             plan.validate_for(n, f, byzantine=byz)
-            self.fault_injector = FaultInjector(plan, self.rng)
+            self.fault_injector = make_fault_injector(config, plan, self.rng)
         self.network = Network(
             self.sim,
             latency,

@@ -24,6 +24,12 @@ class ExperimentConfig:
     f: Optional[int] = None
     regions: Sequence[str] = field(default_factory=lambda: list(EVAL_REGIONS))
     seed: int = 1
+    #: Simulation backend: ``"python"`` (the reference engine) or
+    #: ``"vector"`` (arena event storage + numpy-batched latency/fault
+    #: draws — same schedules, same decided prefixes, less interpreter
+    #: overhead; see EXPERIMENTS.md "Backends").  Runs are bit-identical
+    #: across backends for the same ``(seed, config)`` by construction.
+    backend: str = "python"
 
     # Network.
     delta_us: int = 150 * MILLISECONDS
@@ -109,6 +115,12 @@ class ExperimentConfig:
     # them leaves decided prefixes bit-identical.
     tracing: bool = False
     metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("python", "vector"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}: expected 'python' or 'vector'"
+            )
 
     def resolved_f(self) -> int:
         if self.f is not None:

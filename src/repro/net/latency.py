@@ -226,6 +226,112 @@ class GeoLatencyModel(LatencyModel):
         return out
 
 
+class VectorGeoLatencyModel(GeoLatencyModel):
+    """Numpy-batched :class:`GeoLatencyModel` for the vector backend.
+
+    ``one_way_block`` draws the whole fan-out's jitter with one
+    ``Generator`` slice and applies the clamp/scale/floor pipeline as
+    array operations.  Bit-identical to the scalar model by construction:
+
+    - the jitter stream is consumed through the same 1024-variate refill
+      blocks at the same stream offsets, so scalar calls (``one_way_us``,
+      used by point-to-point sends) and batched calls interleave freely
+      without perturbing each other;
+    - every float64 operation (``clip`` at ±3σ, ``base * (1 + noise)``,
+      truncation to int, the 20%-of-base floor) is IEEE-identical to its
+      scalar counterpart, and self-destinations draw nothing, preserving
+      the sorted-pid draw order exactly.
+    """
+
+    def __init__(
+        self,
+        placement: Mapping[int, str],
+        *,
+        jitter: float = 0.03,
+        rng: RngRegistry | None = None,
+    ) -> None:
+        super().__init__(placement, jitter=jitter, rng=rng)
+        # The noise buffer stays a numpy array here (the scalar model
+        # converts to a list); ``_noise_pos`` cursors into it either way.
+        self._noise_arr = np.empty(0)
+        # (src, dsts) -> (bases of non-self dsts as float64, their int
+        # floors, positions of self destinations, their base latencies).
+        self._block_cache: Dict[tuple, tuple] = {}
+
+    def one_way_us(self, src: int, dst: int) -> int:
+        base = self.base_us(src, dst)
+        jitter = self.jitter
+        if jitter <= 0 or src == dst:
+            return base
+        pos = self._noise_pos
+        arr = self._noise_arr
+        if pos >= arr.shape[0] or self._noise_sigma != jitter:
+            arr = self._noise_arr = self._rng.normal(0.0, jitter, 1024)
+            self._noise_sigma = jitter
+            pos = 0
+        noise = arr[pos]
+        self._noise_pos = pos + 1
+        if noise > (hi := 3 * jitter):
+            noise = hi
+        elif noise < -hi:
+            noise = -hi
+        sample = int(base * (1.0 + noise))
+        floor = int(base * 0.2)
+        return sample if sample > floor else floor
+
+    def _build_block(self, src: int, dsts) -> tuple:
+        bases = [self.base_us(src, dst) for dst in dsts]
+        self_pos = [i for i, dst in enumerate(dsts) if dst == src]
+        nonself = [b for i, b in enumerate(bases) if i not in self_pos]
+        return (
+            np.array(nonself, dtype=np.float64),
+            np.array([int(b * 0.2) for b in nonself], dtype=np.int64),
+            self_pos,
+            [bases[i] for i in self_pos],
+        )
+
+    def one_way_block(self, src: int, dsts) -> List[int]:
+        jitter = self.jitter
+        if jitter <= 0:
+            base_us = self.base_us
+            return [base_us(src, d) for d in dsts]
+        key = (src, tuple(dsts))
+        block = self._block_cache.get(key)
+        if block is None:
+            block = self._block_cache[key] = self._build_block(src, dsts)
+        bases, floors, self_pos, self_bases = block
+        k = bases.shape[0]
+        if k == 0:
+            return list(self_bases)
+        arr = self._noise_arr
+        pos = self._noise_pos
+        if self._noise_sigma != jitter:
+            arr = self._noise_arr = np.empty(0)
+            self._noise_sigma = jitter
+            pos = 0
+        noise = np.empty(k)
+        filled = 0
+        while filled < k:
+            if pos >= arr.shape[0]:
+                arr = self._noise_arr = self._rng.normal(0.0, jitter, 1024)
+                pos = 0
+            take = min(k - filled, arr.shape[0] - pos)
+            noise[filled : filled + take] = arr[pos : pos + take]
+            filled += take
+            pos += take
+        self._noise_pos = pos
+        hi = 3 * jitter
+        np.clip(noise, -hi, hi, out=noise)
+        noise += 1.0
+        noise *= bases
+        samples = noise.astype(np.int64)
+        np.maximum(samples, floors, out=samples)
+        out = samples.tolist()
+        for i, base in zip(self_pos, self_bases):
+            out.insert(i, base)
+        return out
+
+
 __all__ = [
     "AWS_ONE_WAY_MS",
     "INTRA_REGION_MS",
@@ -234,4 +340,5 @@ __all__ = [
     "LatencyModel",
     "UniformLatencyModel",
     "GeoLatencyModel",
+    "VectorGeoLatencyModel",
 ]

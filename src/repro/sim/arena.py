@@ -1,0 +1,285 @@
+"""Arena-backed event loop for the accelerated ("vector") backend.
+
+The stock :class:`~repro.sim.engine.Simulator` allocates one
+:class:`~repro.sim.engine.Event` record per scheduled callback.  Most of a
+run's events come from two fire-and-forget paths — broadcast fan-outs
+(``schedule_block``) and deferred CPU completions (``schedule_light``) —
+whose events are never cancelled and never escape to a caller, so the
+record exists purely to carry ``(priority, seq, callback)`` through the
+bucket.  For those, :class:`ArenaSimulator` stores the bare callback in the
+bucket instead: the bucket list *is* the arena column, the implicit
+priority is 0 and the implicit sequence number is the arrival position,
+which is exactly what the global insertion counter would have assigned.
+
+Two invariants make the mixed representation safe and bit-identical:
+
+- a bucket is kept sorted by priority with FIFO order among equals.  The
+  base engine's ``(priority, seq)`` key reduces to exactly this because
+  ``seq`` is globally monotonic, so ``insort``-by-priority (``bisect_right``
+  semantics: new entries land after their priority peers) reproduces the
+  original total order;
+- bare entries cannot be cancelled, so the drain loop's cancellation scan
+  only ever inspects real :class:`Event` records.
+
+Drained bucket lists are recycled through a free-list instead of being
+re-allocated every simulated instant.  ``schedule``/``schedule_at`` still
+return real, cancellable events, so timers, the watchdog and the coalescing
+end-of-instant hooks run unmodified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+#: Bucket lists kept for reuse; beyond this they go back to the allocator.
+_FREE_BUCKET_LIMIT = 64
+
+
+def _entry_priority(entry) -> int:
+    """Sort key over mixed bucket entries: bare callbacks are priority 0."""
+    return entry.priority if entry.__class__ is Event else 0
+
+
+class ArenaSimulator(Simulator):
+    """Drop-in :class:`Simulator` with arena-style bucket storage.
+
+    Behaviour (execution order, virtual clock, ``pending``/``processed``
+    accounting, hooks) is bit-identical to the base engine; only the
+    in-memory representation of fire-and-forget events differs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Recycled bucket lists (cleared before reuse).
+        self._free_buckets: List[list] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> Event:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + int(delay)
+        event = Event(when, priority, next(self._counter), callback)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            free = self._free_buckets
+            if free:
+                bucket = free.pop()
+                bucket.append(event)
+            else:
+                bucket = [event]
+            self._buckets[when] = bucket
+            heapq.heappush(self._times, when)
+        else:
+            tail = bucket[-1]
+            if priority >= (tail.priority if tail.__class__ is Event else 0):
+                bucket.append(event)
+            else:
+                lo = self._head_pos if when == self._head_time else 0
+                insort(bucket, event, lo=lo, key=_entry_priority)
+        self._pending += 1
+        return event
+
+    def schedule_light(self, delay: int, callback: Callable[[], None]) -> None:
+        """Priority-0 schedule with no :class:`Event` record at all."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + int(delay)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            free = self._free_buckets
+            if free:
+                bucket = free.pop()
+                bucket.append(callback)
+            else:
+                bucket = [callback]
+            self._buckets[when] = bucket
+            heapq.heappush(self._times, when)
+        else:
+            tail = bucket[-1]
+            if tail.__class__ is Event and tail.priority > 0:
+                lo = self._head_pos if when == self._head_time else 0
+                insort(bucket, callback, lo=lo, key=_entry_priority)
+            else:
+                bucket.append(callback)
+        self._pending += 1
+
+    def schedule_block(self, items: List) -> None:
+        now = self._now
+        times = self._times
+        buckets = self._buckets
+        free = self._free_buckets
+        head_time = self._head_time
+        head_pos = self._head_pos
+        for delay, callback in items:
+            when = now + delay
+            bucket = buckets.get(when)
+            if bucket is None:
+                if free:
+                    bucket = free.pop()
+                    bucket.append(callback)
+                else:
+                    bucket = [callback]
+                buckets[when] = bucket
+                heapq.heappush(times, when)
+            else:
+                tail = bucket[-1]
+                if tail.__class__ is Event and tail.priority > 0:
+                    lo = head_pos if when == head_time else 0
+                    insort(bucket, callback, lo=lo, key=_entry_priority)
+                else:
+                    bucket.append(callback)
+        self._pending += len(items)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _peek(self):
+        """Arena analogue of ``_next_event``: returns ``(entry, time)`` of
+        the next live entry (bare callback or event), or ``None``."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            pos = start = self._head_pos if t == self._head_time else 0
+            size = len(bucket)
+            entry = None
+            while pos < size:
+                e = bucket[pos]
+                if e.__class__ is not Event or not e.cancelled:
+                    entry = e
+                    break
+                pos += 1
+            if pos != start:
+                self._pending -= pos - start
+            if entry is not None:
+                self._head_time = t
+                self._head_pos = pos
+                return entry, t
+            heapq.heappop(times)
+            del buckets[t]
+            self._release_bucket(bucket)
+            self._head_time = -1
+        return None
+
+    def _release_bucket(self, bucket: list) -> None:
+        free = self._free_buckets
+        if len(free) < _FREE_BUCKET_LIMIT:
+            bucket.clear()
+            free.append(bucket)
+
+    def step(self) -> bool:
+        peek = self._peek()
+        while self._instant_dirty and (peek is None or peek[1] > self._now):
+            self._run_instant_hooks()
+            peek = self._peek()
+        if peek is None:
+            return False
+        entry, when = peek
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue yielded an event in the past")
+        self._head_pos += 1
+        self._pending -= 1
+        self._now = when
+        self._processed += 1
+        if entry.__class__ is Event:
+            entry.callback()
+        else:
+            entry()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        # Mirrors Simulator.run with two changes: bucket entries may be
+        # bare callbacks (checked with one ``__class__`` test before the
+        # cancellation scan), and drained bucket lists are recycled.
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        times = self._times
+        buckets = self._buckets
+        free = self._free_buckets
+        limit = max_events if max_events is not None else float("inf")
+        try:
+            while not self._stopped and executed < limit:
+                entry = None
+                when = -1
+                while times:
+                    t = times[0]
+                    bucket = buckets[t]
+                    pos = start = self._head_pos if t == self._head_time else 0
+                    size = len(bucket)
+                    while pos < size:
+                        e = bucket[pos]
+                        if e.__class__ is not Event or not e.cancelled:
+                            entry = e
+                            break
+                        pos += 1
+                    if pos != start:
+                        self._pending -= pos - start
+                        self._head_time = t
+                        self._head_pos = pos
+                    if entry is not None:
+                        when = t
+                        break
+                    heapq.heappop(times)
+                    del buckets[t]
+                    if len(free) < _FREE_BUCKET_LIMIT:  # _release_bucket, inlined
+                        bucket.clear()
+                        free.append(bucket)
+                    self._head_time = -1
+                if self._instant_dirty and (entry is None or when > self._now):
+                    self._run_instant_hooks()
+                    continue
+                if entry is None:
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self._now = when
+                self._head_time = when
+                while True:
+                    self._head_pos = pos + 1
+                    self._pending -= 1
+                    self._processed += 1
+                    if entry.__class__ is Event:
+                        entry.callback()
+                    else:
+                        entry()
+                    executed += 1
+                    if self._stopped or executed >= limit:
+                        break
+                    pos += 1
+                    size = len(bucket)  # callbacks may have appended
+                    entry = None
+                    while pos < size:
+                        e = bucket[pos]
+                        if e.__class__ is not Event or not e.cancelled:
+                            entry = e
+                            break
+                        pos += 1
+                        self._pending -= 1
+                    if entry is None:
+                        self._head_pos = pos
+                        break
+        finally:
+            self._running = False
+        return executed
+
+
+__all__ = ["ArenaSimulator"]

@@ -189,7 +189,10 @@ class SimProcess:
                     return
                 callback()
 
-            self.sim.schedule_at(done_at, _run)
+            # ``acquire`` never completes in the past, and the completion
+            # is never cancelled — fire-and-forget, so the arena backend
+            # can skip the Event record.
+            self.sim.schedule_light(done_at - self.sim.now, _run)
 
     # ------------------------------------------------------------------
     # Lifecycle

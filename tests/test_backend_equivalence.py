@@ -1,0 +1,326 @@
+"""The accelerated ("vector") backend must be bit-identical to the python
+reference backend: same decided prefixes, same event counts, same RNG
+stream consumption — for every configuration shape the harness supports.
+
+Three layers of evidence:
+
+- unit: the numpy-batched primitives (jitter blocks, buffered uniforms,
+  batched CPU charging) reproduce the scalar primitives' exact outputs,
+  including when scalar and batched calls interleave over one stream;
+- engine: :class:`~repro.sim.arena.ArenaSimulator` executes randomized
+  mixed workloads (schedule / schedule_block / schedule_light / cancel /
+  end-of-instant hooks) in the same order as the base engine;
+- end-to-end: whole clusters run to identical decided-prefix digests
+  across seeds, chaos schedules, and coalescing on/off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import prefix_digest
+from repro.harness.config import ExperimentConfig
+from repro.harness.factory import build_cluster
+from repro.net.faults import CrashEvent, FaultPlan, LinkFault
+from repro.sim.engine import MILLISECONDS, Simulator
+from repro.sim.arena import ArenaSimulator
+
+
+# ----------------------------------------------------------------------
+# Unit: vectorized draws == scalar draws, bit for bit
+# ----------------------------------------------------------------------
+class _FixedRegistry:
+    """Registry stub handing each label path a deterministic Generator."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._streams = {}
+
+    def get(self, *labels: str):
+        import zlib
+
+        if labels not in self._streams:
+            self._streams[labels] = np.random.default_rng(
+                (self._seed, zlib.crc32("/".join(labels).encode()))
+            )
+        return self._streams[labels]
+
+
+def _latency_pair(seed: int, jitter: float = 0.015):
+    from repro.net.latency import GeoLatencyModel, VectorGeoLatencyModel
+    from repro.net.topology import EVAL_REGIONS, Topology
+
+    placement = Topology(8, EVAL_REGIONS).placement
+    scalar = GeoLatencyModel(placement, jitter=jitter, rng=_FixedRegistry(seed))
+    vector = VectorGeoLatencyModel(placement, jitter=jitter, rng=_FixedRegistry(seed))
+    return scalar, vector
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_vector_latency_block_matches_scalar_sequence(seed):
+    scalar, vector = _latency_pair(seed)
+    dsts = list(range(8))
+    for src in (0, 3, 5):
+        want = [scalar.one_way_us(src, d) for d in dsts]
+        got = vector.one_way_block(src, dsts)
+        assert got == want
+
+
+@pytest.mark.parametrize("seed", [2, 11])
+def test_vector_latency_interleaved_scalar_and_block(seed):
+    """Scalar and batched calls share one jitter stream: any interleaving
+    must consume the same variates in the same order as all-scalar."""
+    scalar, vector = _latency_pair(seed)
+    rnd = random.Random(seed)
+    for _ in range(200):
+        src = rnd.randrange(8)
+        if rnd.random() < 0.5:
+            dst = rnd.randrange(8)
+            assert vector.one_way_us(src, dst) == scalar.one_way_us(src, dst)
+        else:
+            dsts = rnd.sample(range(8), rnd.randint(1, 8))
+            dsts.sort()
+            want = [scalar.one_way_us(src, d) for d in dsts]
+            assert vector.one_way_block(src, dsts) == want
+
+
+def test_vector_latency_block_jitter_free():
+    scalar, vector = _latency_pair(1, jitter=0.0)
+    dsts = list(range(8))
+    assert vector.one_way_block(2, dsts) == [scalar.one_way_us(2, d) for d in dsts]
+
+
+def test_buffered_uniform_matches_scalar_stream():
+    from repro.net.faults import _BufferedUniform
+
+    a = np.random.default_rng(123)
+    b = _BufferedUniform(np.random.default_rng(123))
+    for _ in range(500):
+        assert b.random() == a.random()
+
+
+def test_vector_fault_injector_decisions_match():
+    from repro.net.faults import FaultInjector, VectorFaultInjector
+    from repro.net.message import Message
+
+    plan = FaultPlan(
+        links=(
+            LinkFault(drop_rate=0.2, duplicate_rate=0.1, corrupt_rate=0.05),
+            LinkFault(src=(0,), dst=(1,), drop_rate=0.5, start_us=100, end_us=900),
+        )
+    )
+    scalar = FaultInjector(plan, _FixedRegistry(9))
+    vector = VectorFaultInjector(plan, _FixedRegistry(9))
+    rnd = random.Random(9)
+    for i in range(400):
+        src, dst = rnd.randrange(4), rnd.randrange(4)
+        now = rnd.randrange(0, 1200)
+        msg = Message("x", {"i": i})
+        assert vector.decide(src, dst, msg, now) == scalar.decide(src, dst, msg, now)
+    assert vector.stats.to_dict() == scalar.stats.to_dict()
+
+
+def test_vector_fault_injector_reorder_rules_stay_scalar():
+    """Reordering draws interleave with the per-link uniform stream, so
+    buffering would desynchronise it — the vector injector must fall back
+    to raw scalar streams whenever any rule can reorder."""
+    from repro.net.faults import VectorFaultInjector, _BufferedUniform
+
+    plan = FaultPlan(links=(LinkFault(drop_rate=0.1, reorder_rate=0.1),))
+    vector = VectorFaultInjector(plan, _FixedRegistry(3))
+    assert not isinstance(vector._stream(0, 1), _BufferedUniform)
+    buffered = VectorFaultInjector(
+        FaultPlan(links=(LinkFault(drop_rate=0.1),)), _FixedRegistry(3)
+    )
+    assert isinstance(buffered._stream(0, 1), _BufferedUniform)
+
+
+def test_receive_charge_plan_sums_like_loop():
+    from repro.crypto.cost import ReceiveChargePlan
+    from repro.net.message import Message
+
+    table = {"a": 2, "b": 3}
+    fallback_calls = []
+
+    def fallback(m):
+        fallback_calls.append(m.kind)
+        return 7
+
+    plan = ReceiveChargePlan(table, fallback)
+    msgs = [Message("a", {}), Message("b", {}), Message("zzz", {}), Message("a", {})]
+    assert plan.total_us(msgs) == 2 + 3 + 7 + 2
+    assert fallback_calls == ["zzz"]
+
+
+# ----------------------------------------------------------------------
+# Engine: ArenaSimulator ordering == Simulator ordering
+# ----------------------------------------------------------------------
+def _fuzz_schedule(sim, log, seed: int, events: int = 400):
+    rnd = random.Random(seed)
+    cancellable = []
+
+    def make_cb(tag):
+        def cb():
+            log.append((sim.now, tag))
+            # Nested scheduling from inside callbacks, including delay 0
+            # (same-instant appends while the bucket is draining).
+            if rnd_inner.random() < 0.25:
+                sim.schedule_light(rnd_inner.randrange(0, 5), make_cb((tag, "l")))
+
+        return cb
+
+    rnd_inner = random.Random(seed + 1)
+    for i in range(events):
+        kind = rnd.random()
+        delay = rnd.randrange(0, 50)
+        if kind < 0.35:
+            ev = sim.schedule(delay, make_cb(("s", i)), priority=rnd.choice([0, 0, 1, 5]))
+            if rnd.random() < 0.3:
+                cancellable.append(ev)
+        elif kind < 0.6:
+            sim.schedule_light(delay, make_cb(("light", i)))
+        else:
+            block = [(delay + j % 3, make_cb(("blk", i, j))) for j in range(rnd.randrange(1, 5))]
+            sim.schedule_block(block)
+        if cancellable and rnd.random() < 0.2:
+            cancellable.pop(rnd.randrange(len(cancellable))).cancel()
+    return cancellable
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_arena_simulator_orders_like_base(seed):
+    logs = []
+    for cls in (Simulator, ArenaSimulator):
+        sim = cls()
+        log = []
+        _fuzz_schedule(sim, log, seed)
+        sim.run(until=200)
+        logs.append((log, sim.now, sim.events_processed, sim.pending))
+    assert logs[0] == logs[1]
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_arena_simulator_with_instant_hooks(seed):
+    logs = []
+    for cls in (Simulator, ArenaSimulator):
+        sim = cls()
+        log = []
+
+        def hook(sim=sim, log=log):
+            log.append((sim.now, "hook"))
+
+        sim.add_end_of_instant_hook(hook)
+        _fuzz_schedule(sim, log, seed)
+        for t in (0, 3, 10):
+            sim.schedule(t, sim.mark_instant_dirty)
+        sim.run(until=200)
+        logs.append((log, sim.now, sim.events_processed))
+    assert logs[0] == logs[1]
+
+
+def test_arena_schedule_returns_cancellable_event():
+    sim = ArenaSimulator()
+    fired = []
+    ev = sim.schedule(5, lambda: fired.append(1))
+    ev.cancel()
+    sim.schedule(10, lambda: fired.append(2))
+    sim.run(until=20)
+    assert fired == [2]
+    assert sim.pending == 0
+
+
+def test_arena_bucket_recycling_bounded():
+    sim = ArenaSimulator()
+    for t in range(300):
+        sim.schedule_light(t, lambda: None)
+    sim.run(until=400)
+    from repro.sim.arena import _FREE_BUCKET_LIMIT
+
+    assert len(sim._free_buckets) <= _FREE_BUCKET_LIMIT
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+def test_backend_config_roundtrip_and_validation():
+    cfg = ExperimentConfig(backend="vector")
+    assert ExperimentConfig.from_dict(cfg.to_dict()).backend == "vector"
+    assert ExperimentConfig().backend == "python"
+    with pytest.raises(ValueError, match="unknown backend"):
+        ExperimentConfig(backend="cuda")
+
+
+def test_python_backend_does_not_import_accelerated_modules():
+    """The default path must never touch the vector modules: a broken
+    arena import can only fail runs that asked for it."""
+    import subprocess
+    import sys
+
+    code = (
+        "import sys\n"
+        "from repro.harness.config import ExperimentConfig\n"
+        "from repro.harness.factory import build_cluster\n"
+        "build_cluster(ExperimentConfig(n_nodes=4, duration_us=1))\n"
+        "assert 'repro.sim.arena' not in sys.modules, 'arena imported on python path'\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# End-to-end: identical decided prefixes
+# ----------------------------------------------------------------------
+def _digest(cfg: ExperimentConfig) -> tuple:
+    cluster = build_cluster(cfg)
+    result = cluster.run()
+    return prefix_digest(cluster), result.events_processed
+
+
+def _chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        links=(
+            LinkFault(drop_rate=0.15, duplicate_rate=0.05, corrupt_rate=0.02),
+        ),
+        crashes=(
+            CrashEvent(
+                pid=2,
+                crash_at_us=900 * MILLISECONDS,
+                recover_at_us=1400 * MILLISECONDS,
+            ),
+        ),
+    )
+
+
+def _cells(seed: int):
+    base = dict(
+        n_nodes=4,
+        seed=seed,
+        batch_size=8,
+        client_window=4,
+        duration_us=1800 * MILLISECONDS,
+        warmup_rounds=2,
+        warmup_spacing_us=150 * MILLISECONDS,
+    )
+    return {
+        "goodcase": ExperimentConfig(**base),
+        "chaos": ExperimentConfig(
+            **base, fault_plan=_chaos_plan(), reliable_channels=True
+        ),
+        "coalesced": ExperimentConfig(**base, coalesce=True, coalesce_window_us=1000),
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 5])
+@pytest.mark.parametrize("cell", ["goodcase", "chaos", "coalesced"])
+def test_backends_bit_identical_end_to_end(seed, cell):
+    cfg = _cells(seed)[cell]
+    python = _digest(dataclasses.replace(cfg, backend="python"))
+    vector = _digest(dataclasses.replace(cfg, backend="vector"))
+    assert python == vector

@@ -98,6 +98,21 @@ class TestBatchEviction:
         assert stats["size"] == 1
         assert stats["hit_rate"] == 0.5
 
+    def test_peak_survives_weakref_style_eviction(self):
+        """Id-keyed caches evict via ``discard`` when their keys are
+        garbage-collected, so end-of-run ``size`` can be 0 after millions
+        of hits — ``peak`` must still report the high-water occupancy."""
+        cache = MemoCache(capacity=8)
+        for key in ("a", "b", "c"):
+            cache.put(key, 1)
+        for key in ("a", "b", "c"):
+            cache.discard(key)
+        stats = cache.stats()
+        assert stats["size"] == 0
+        assert stats["peak"] == 3
+        cache.put("d", 1)
+        assert cache.stats()["peak"] == 3  # refilling below peak keeps it
+
     def test_clear_resets_counters(self):
         cache = MemoCache(capacity=2)
         cache.put("a", 1)
@@ -111,5 +126,6 @@ class TestBatchEviction:
             "misses": 0,
             "evictions": 0,
             "size": 0,
+            "peak": 0,
             "hit_rate": 0.0,
         }
