@@ -82,6 +82,8 @@ def _config_from_args(args, n: int, seed: int):
         warmup_rounds=args.warmup_rounds,
         warmup_spacing_us=150 * MILLISECONDS,
         backend=getattr(args, "backend", "python"),
+        dissemination=getattr(args, "dissemination", None) or "all2all",
+        fanout=getattr(args, "fanout", 8),
     )
 
 
@@ -99,6 +101,18 @@ def _add_config_flags(parser) -> None:
         choices=["python", "vector"],
         default="python",
         help="simulation backend (decided prefixes are bit-identical)",
+    )
+    parser.add_argument(
+        "--dissemination",
+        choices=["all2all", "tree", "gossip"],
+        default="all2all",
+        help="broadcast dissemination strategy (default all2all)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=8,
+        help="relay fan-out for tree/gossip dissemination (default 8)",
     )
 
 
@@ -220,7 +234,24 @@ def cmd_run(args) -> None:
 
     protocol = _parse_protocols(args.protocol)[0]
     config = _config_from_args(args, args.n, args.seed)
-    result = build_cluster(config, protocol=protocol).run()
+    shards = getattr(args, "shards", 1)
+    extra = {}
+    if shards > 1:
+        if protocol != "lyra":
+            raise SystemExit("--shards currently supports the lyra protocol only")
+        from repro.sim.shard import run_sharded
+
+        run = run_sharded(config, shards)
+        result = run.result
+        extra = {
+            "shards": run.plan.n_shards,
+            "epoch_us": run.plan.epoch_us,
+            "barriers": run.barriers,
+            "frames_exchanged": run.frames_exchanged,
+            "prefix_sha256": run.digest(),
+        }
+    else:
+        result = build_cluster(config, protocol=protocol).run()
     _print(
         f"RUN — {protocol} n={args.n} seed={args.seed}",
         {
@@ -232,6 +263,7 @@ def cmd_run(args) -> None:
             "latency_ms": round(result.avg_latency_ms, 1),
             "p99_ms": round(result.p99_latency_us / 1000.0, 1),
             "safety": result.safety_violation,
+            **extra,
         },
     )
 
@@ -643,6 +675,9 @@ def cmd_bench(args) -> None:
         observability=args.observability,
         backend=args.backend,
         backend_twins=args.backends,
+        shards=args.shards,
+        dissemination=args.dissemination,
+        fanout=args.fanout,
         profile=args.profile,
     )
     out = args.out or default_output_path()
@@ -689,6 +724,42 @@ def cmd_bench(args) -> None:
             failed = True
         else:
             print("\nBENCH BACKEND EQUIVALENCE: PASS (all twin digests identical)")
+    if args.shards > 1:
+        from repro.bench.suite import check_sharding
+
+        shard_failures = check_sharding(report)
+        if shard_failures:
+            print("\nBENCH SHARDING CHECK: FAIL")
+            for f in shard_failures:
+                print(f"  - {f}")
+            failed = True
+        else:
+            scells = [
+                c for name, c in report["macro"].items()
+                if name.endswith("_sharded")
+            ]
+            extra = ""
+            if scells and scells[0].get("speedup_vs_single") is not None:
+                extra = (
+                    f", {scells[0]['shards']} shards "
+                    f"{scells[0]['speedup_vs_single']}x vs single-process"
+                )
+            print(
+                f"\nBENCH SHARDING CHECK: PASS (digest identical{extra})"
+            )
+    if args.dissemination:
+        from repro.bench.suite import check_dissemination
+
+        diss_failures = check_dissemination(report)
+        if diss_failures:
+            print(f"\nBENCH DISSEMINATION CHECK ({args.dissemination}): FAIL")
+            for f in diss_failures:
+                print(f"  - {f}")
+            failed = True
+        else:
+            print(
+                f"\nBENCH DISSEMINATION CHECK ({args.dissemination}): PASS"
+            )
     if args.observability:
         from repro.bench.suite import check_observability
 
@@ -862,6 +933,14 @@ def main(argv=None) -> int:
     _add_protocol_flag(prun, "lyra")
     prun.add_argument("--n", type=int, default=4, help="cluster size")
     prun.add_argument("--seed", type=int, default=1)
+    prun.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the cluster over N lockstep worker processes "
+        "(decided prefixes stay bit-identical to --shards 1)",
+    )
     _add_config_flags(prun)
     prun.set_defaults(fn=cmd_run)
 
@@ -936,6 +1015,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="re-run each macro cell on the other backend and fail on any "
         "decided-prefix digest divergence between the pair",
+    )
+    pbench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="also run the scaling cell through the partitioned core with N "
+        "worker processes and fail unless its decided-prefix digest matches "
+        "the single-process cell bit-for-bit",
+    )
+    pbench.add_argument(
+        "--dissemination",
+        choices=["tree", "gossip"],
+        default=None,
+        help="also run a headline twin cell under that broadcast strategy; "
+        "a degenerate tree (fanout >= n-1) must reproduce the all2all "
+        "digest exactly",
+    )
+    pbench.add_argument(
+        "--fanout",
+        type=int,
+        default=8,
+        help="relay fan-out for --dissemination tree/gossip (default 8)",
     )
     pbench.add_argument(
         "--profile",

@@ -13,7 +13,7 @@ import gc
 import statistics
 import time
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.commit import CommitConfig
 from repro.core.node import LyraConfig, LyraNode
@@ -32,6 +32,7 @@ from repro.metrics.invariants import InvariantWatchdog
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracelog import TraceLog, install_lyra_tracing
 from repro.net.adversary import NullAdversary, PartialSynchronyAdversary
+from repro.net.dissemination import make_dissemination
 from repro.net.faults import FaultInjector
 from repro.net.network import Network, NetworkConfig
 from repro.net.topology import Topology
@@ -123,6 +124,13 @@ class LyraCluster:
     ``node_classes`` maps pid -> a :class:`LyraNode` subclass (Byzantine
     behaviours for attack experiments); ``node_kwargs`` maps pid -> extra
     constructor kwargs for that subclass.
+
+    ``local_pids`` puts the cluster in shard-worker mode (see
+    :mod:`repro.sim.shard`): the FULL cluster is still built — identical
+    construction-time RNG draws, pids and topology on every worker — but
+    crash-plan events, the watchdog and client traffic are restricted to
+    the local partition; remote clients are neutered via ``crashed=True``
+    (:meth:`SimProcess.send` drops silently when crashed).
     """
 
     def __init__(
@@ -131,8 +139,12 @@ class LyraCluster:
         *,
         node_classes: Optional[Dict[int, type]] = None,
         node_kwargs: Optional[Dict[int, dict]] = None,
+        local_pids: Optional[Sequence[int]] = None,
     ) -> None:
         self.config = config
+        self.local_pids: Optional[frozenset] = (
+            frozenset(local_pids) if local_pids is not None else None
+        )
         self.sim = make_simulator(config)
         self.rng = RngRegistry(config.seed)
         f = config.resolved_f()
@@ -261,6 +273,12 @@ class LyraCluster:
             ),
             faults=self.fault_injector,
         )
+        # Broadcast dissemination strategy (None = native all2all).
+        self.dissemination = make_dissemination(
+            config.dissemination, fanout=config.fanout, seed=config.seed
+        )
+        if self.dissemination is not None:
+            self.network.set_dissemination(self.dissemination)
         if config.reliable_channels:
             self.network.enable_reliable()
         if config.coalesce:
@@ -269,8 +287,20 @@ class LyraCluster:
             self.network.register(node, replica=True)
         for client in self.clients:
             self.network.register(client, replica=False)
+        if self.local_pids is not None:
+            # A client belongs to its home replica's shard (``local_pids``
+            # holds node pids; client pids are only assigned during build).
+            for client in self.clients:
+                if client.home not in self.local_pids:
+                    # Remote clients exist (identical pid/RNG layout on
+                    # every worker) but generate no traffic here: their
+                    # sends drop at the crashed check.  Their RNG streams
+                    # are per-client, so the neutering perturbs nothing.
+                    client.crashed = True
         if plan is not None:
             for ev in plan.crashes:
+                if self.local_pids is not None and ev.pid not in self.local_pids:
+                    continue  # the owning shard schedules this crash
                 node = self.nodes[ev.pid]
                 self.sim.schedule_at(ev.crash_at_us, node.crash)
                 if ev.recover_at_us is not None:
@@ -302,10 +332,12 @@ class LyraCluster:
             self.metrics.add_source("workload", self.workload.metrics_source)
 
         # Always-on invariant watchdog: prefix agreement, commit
-        # regression, ordered output, and post-GST liveness.
+        # regression, ordered output, and post-GST liveness.  A shard
+        # worker watches only its local replicas — the remote ones never
+        # start here and would trip the liveness check.
         liveness_from = max(adversary.gst(), config.measurement_start_us())
         self.watchdog = InvariantWatchdog(
-            self.sim, self.nodes, f=f, gst_us=liveness_from
+            self.sim, self.local_nodes(), f=f, gst_us=liveness_from
         )
 
         # Execution layer + per-node execution event log (time, tx count).
@@ -347,6 +379,14 @@ class LyraCluster:
             node.on_executed = hook
 
     # ------------------------------------------------------------------
+    def local_nodes(self) -> List[LyraNode]:
+        """The replicas this process simulates (all of them outside shard
+        mode)."""
+        if self.local_pids is None:
+            return self.nodes
+        return [node for node in self.nodes if node.pid in self.local_pids]
+
+    # ------------------------------------------------------------------
     # Metrics scrape sources (polled at snapshot time, never on hot paths)
     # ------------------------------------------------------------------
     def _wire_source(self) -> Dict[str, float]:
@@ -385,7 +425,7 @@ class LyraCluster:
     def run(self, *, skip_safety_check: bool = False) -> ExperimentResult:
         """Run the configured duration and consolidate measurements."""
         cfg = self.config
-        for node in self.nodes:
+        for node in self.local_nodes():
             node.start()
         self.watchdog.start()
         # The event loop allocates millions of short-lived events/messages
@@ -467,6 +507,9 @@ class LyraCluster:
             result.fairness = block
         if self.network.wire_stats.frames_sent:
             result.wire_stats = self.network.wire_stats.to_dict()
+        if self.dissemination is not None:
+            result.wire_stats = dict(result.wire_stats)
+            result.wire_stats["dissemination"] = self.dissemination.stats_dict()
         if self.metrics is not None:
             snap = self.metrics.snapshot()
             link = self.network.link_stats()

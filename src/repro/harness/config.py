@@ -42,6 +42,14 @@ class ExperimentConfig:
     rate_bps: float = 1_000_000_000.0
     gst_us: int = 0  # 0 = synchronous from the start
     adversary_max_delay_us: int = 400 * MILLISECONDS
+    #: Broadcast dissemination strategy: ``"all2all"`` (direct fan-out,
+    #: today's behaviour), ``"tree"`` (deterministic k-ary relay tree per
+    #: sender) or ``"gossip"`` (seeded push fan-out with protocol pull
+    #: repair).  See :mod:`repro.net.dissemination` and EXPERIMENTS.md
+    #: "Sharded runs and dissemination strategies".
+    dissemination: str = "all2all"
+    #: Relay fan-out for ``tree``/``gossip`` (ignored by ``all2all``).
+    fanout: int = 8
 
     # Protocol.
     batch_size: int = 800
@@ -121,6 +129,16 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}: expected 'python' or 'vector'"
             )
+        # Late import: net.dissemination must not import harness code.
+        from repro.net.dissemination import DISSEMINATION_STRATEGIES
+
+        if self.dissemination not in DISSEMINATION_STRATEGIES:
+            raise ValueError(
+                f"unknown dissemination {self.dissemination!r}: "
+                f"expected one of {DISSEMINATION_STRATEGIES}"
+            )
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
 
     def resolved_f(self) -> int:
         if self.f is not None:

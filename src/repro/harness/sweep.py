@@ -59,7 +59,11 @@ from repro.harness.config import ExperimentConfig
 
 #: Bump when the cache record layout (or anything that changes simulated
 #: results) becomes incompatible; old entries are then ignored, not misread.
-CACHE_SCHEMA = 1
+#: Schema 2: canonical same-instant delivery ordering (deliveries run at
+#: priority src+1) and per-source jitter streams — every digest changed —
+#: plus the ``dissemination``/``fanout`` config knobs (hashed via
+#: ``config.to_dict()`` like ``backend`` and every other field).
+CACHE_SCHEMA = 2
 
 
 # ----------------------------------------------------------------------

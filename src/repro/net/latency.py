@@ -99,6 +99,14 @@ class LatencyModel:
         one_way_us = self.one_way_us
         return [one_way_us(src, dst) for dst in dsts]
 
+    def floor_us(self, src: int, dst: int) -> int:
+        """A hard lower bound on every possible :meth:`one_way_us` sample
+        for the pair.  The sharded runner derives its epoch length from the
+        minimum cross-shard floor (conservative-lookahead PDES), so this
+        must never exceed an actual sample.  Jitter-free models are exact.
+        """
+        return self.base_us(src, dst)
+
 
 class UniformLatencyModel(LatencyModel):
     """Constant latency between every pair — the unit-test workhorse."""
@@ -121,6 +129,14 @@ class GeoLatencyModel(LatencyModel):
     deviation as a fraction of the base latency; samples are truncated at
     ``±3σ`` and never below 20% of base (queueing can add delay but light
     does not speed up).
+
+    Jitter is drawn from *per-source* streams (``("net", "jitter", src)``):
+    each sender's draw order is then a function of that sender's own send
+    sequence alone, never of how sends from different nodes interleave
+    globally.  That is what lets the sharded runner partition senders
+    across worker processes and still produce bit-identical samples — a
+    single shared stream would entangle every node's draws with the global
+    execution order.
     """
 
     def __init__(
@@ -134,19 +150,29 @@ class GeoLatencyModel(LatencyModel):
         # auxiliary processes (clients, attackers) after the model exists.
         self.placement = placement if isinstance(placement, dict) else dict(placement)
         self.jitter = float(jitter)
-        self._rng = (rng or RngRegistry(0)).get("net", "jitter")
+        self._registry = rng or RngRegistry(0)
         # Pre-resolve base latencies for every known pid pair lazily.
         self._base_cache: Dict[Tuple[int, int], int] = {}
         # Jitter draws are batched: numpy's Generator fills a size-n request
         # with exactly the same variates as n scalar calls, so refilling a
-        # buffer keeps the stream bit-identical while amortising the per-call
-        # numpy dispatch overhead.  The buffer is converted to a plain list
-        # (``tolist`` preserves every float64 bit-exactly) because indexing a
-        # list yields Python floats whose arithmetic is several times faster
-        # than numpy scalars on this per-message path.
-        self._noise_buf: List[float] = []
-        self._noise_pos = 0
+        # buffer keeps each stream bit-identical while amortising the
+        # per-call numpy dispatch overhead.  Buffers are converted to plain
+        # lists (``tolist`` preserves every float64 bit-exactly) because
+        # indexing a list yields Python floats whose arithmetic is several
+        # times faster than numpy scalars on this per-message path.
+        # src -> [buffer, cursor, generator].
+        self._streams: Dict[int, list] = {}
         self._noise_sigma = self.jitter
+
+    def _stream(self, src: int) -> list:
+        state = self._streams.get(src)
+        if state is None:
+            state = self._streams[src] = [
+                [],
+                0,
+                self._registry.get("net", "jitter", str(src)),
+            ]
+        return state
 
     def region_of(self, pid: int) -> str:
         return self.placement[pid]
@@ -163,18 +189,37 @@ class GeoLatencyModel(LatencyModel):
             self._base_cache[key] = cached
         return cached
 
+    def floor_us(self, src: int, dst: int) -> int:
+        """Smallest sample the clamp pipeline can emit for the pair: noise
+        is truncated at ``-3σ`` and the result never drops below 20% of
+        base, so ``max(int(base·(1−3σ)), int(base·0.2))`` is exact."""
+        base = self.base_us(src, dst)
+        if self.jitter <= 0 or src == dst:
+            return base
+        lo = 1.0 - 3 * self.jitter
+        if lo < 0.2:
+            lo = 0.2
+        sample_min = int(base * lo)
+        floor = int(base * 0.2)
+        return sample_min if sample_min > floor else floor
+
     def one_way_us(self, src: int, dst: int) -> int:
         base = self.base_us(src, dst)
         jitter = self.jitter
         if jitter <= 0 or src == dst:
             return base
-        pos = self._noise_pos
-        if pos >= len(self._noise_buf) or self._noise_sigma != jitter:
-            self._noise_buf = self._rng.normal(0.0, jitter, 1024).tolist()
+        if self._noise_sigma != jitter:
+            self._streams.clear()
             self._noise_sigma = jitter
+        state = self._streams.get(src)
+        if state is None:
+            state = self._stream(src)
+        buf, pos, gen = state
+        if pos >= len(buf):
+            buf = state[0] = gen.normal(0.0, jitter, 1024).tolist()
             pos = 0
-        noise = self._noise_buf[pos]
-        self._noise_pos = pos + 1
+        noise = buf[pos]
+        state[1] = pos + 1
         if noise > (hi := 3 * jitter):
             noise = hi
         elif noise < -hi:
@@ -186,19 +231,25 @@ class GeoLatencyModel(LatencyModel):
     def one_way_block(self, src: int, dsts) -> List[int]:
         """Sample ``one_way_us(src, d)`` for every ``d`` in ``dsts``.
 
-        Consumes the jitter stream in exactly the per-destination order of
-        the scalar method (self-destinations draw nothing), so broadcast
-        fan-outs that switch to this batch form keep runs bit-identical.
+        Consumes ``src``'s jitter stream in exactly the per-destination
+        order of the scalar method (self-destinations draw nothing), so
+        broadcast fan-outs that switch to this batch form keep runs
+        bit-identical.
         """
         jitter = self.jitter
         base_us = self.base_us
         if jitter <= 0:
             return [base_us(src, d) for d in dsts]
+        if self._noise_sigma != jitter:
+            self._streams.clear()
+            self._noise_sigma = jitter
+        state = self._streams.get(src)
+        if state is None:
+            state = self._stream(src)
+        buf, pos, gen = state
         out = []
-        buf = self._noise_buf
-        pos = self._noise_pos
         size = len(buf)
-        refill = self._rng.normal
+        refill = gen.normal
         hi = 3 * jitter
         base_cache_get = self._base_cache.get
         for dst in dsts:
@@ -208,9 +259,8 @@ class GeoLatencyModel(LatencyModel):
             if dst == src:
                 out.append(base)
                 continue
-            if pos >= size or self._noise_sigma != jitter:
-                buf = self._noise_buf = refill(0.0, jitter, 1024).tolist()
-                self._noise_sigma = jitter
+            if pos >= size:
+                buf = state[0] = refill(0.0, jitter, 1024).tolist()
                 pos = 0
                 size = 1024
             noise = buf[pos]
@@ -222,7 +272,7 @@ class GeoLatencyModel(LatencyModel):
             sample = int(base * (1.0 + noise))
             floor = int(base * 0.2)
             out.append(sample if sample > floor else floor)
-        self._noise_pos = pos
+        state[1] = pos
         return out
 
 
@@ -233,10 +283,10 @@ class VectorGeoLatencyModel(GeoLatencyModel):
     ``Generator`` slice and applies the clamp/scale/floor pipeline as
     array operations.  Bit-identical to the scalar model by construction:
 
-    - the jitter stream is consumed through the same 1024-variate refill
-      blocks at the same stream offsets, so scalar calls (``one_way_us``,
-      used by point-to-point sends) and batched calls interleave freely
-      without perturbing each other;
+    - each per-source jitter stream is consumed through the same
+      1024-variate refill blocks at the same stream offsets, so scalar
+      calls (``one_way_us``, used by point-to-point sends) and batched
+      calls interleave freely without perturbing each other;
     - every float64 operation (``clip`` at ±3σ, ``base * (1 + noise)``,
       truncation to int, the 20%-of-base floor) is IEEE-identical to its
       scalar counterpart, and self-destinations draw nothing, preserving
@@ -251,26 +301,40 @@ class VectorGeoLatencyModel(GeoLatencyModel):
         rng: RngRegistry | None = None,
     ) -> None:
         super().__init__(placement, jitter=jitter, rng=rng)
-        # The noise buffer stays a numpy array here (the scalar model
-        # converts to a list); ``_noise_pos`` cursors into it either way.
-        self._noise_arr = np.empty(0)
+        # Per-source noise buffers stay numpy arrays here (the scalar
+        # model converts to lists): src -> [array, cursor, generator].
+        self._arr_streams: Dict[int, list] = {}
         # (src, dsts) -> (bases of non-self dsts as float64, their int
         # floors, positions of self destinations, their base latencies).
         self._block_cache: Dict[tuple, tuple] = {}
+
+    def _arr_stream(self, src: int) -> list:
+        state = self._arr_streams.get(src)
+        if state is None:
+            state = self._arr_streams[src] = [
+                np.empty(0),
+                0,
+                self._registry.get("net", "jitter", str(src)),
+            ]
+        return state
 
     def one_way_us(self, src: int, dst: int) -> int:
         base = self.base_us(src, dst)
         jitter = self.jitter
         if jitter <= 0 or src == dst:
             return base
-        pos = self._noise_pos
-        arr = self._noise_arr
-        if pos >= arr.shape[0] or self._noise_sigma != jitter:
-            arr = self._noise_arr = self._rng.normal(0.0, jitter, 1024)
+        if self._noise_sigma != jitter:
+            self._arr_streams.clear()
             self._noise_sigma = jitter
+        state = self._arr_streams.get(src)
+        if state is None:
+            state = self._arr_stream(src)
+        arr, pos, gen = state
+        if pos >= arr.shape[0]:
+            arr = state[0] = gen.normal(0.0, jitter, 1024)
             pos = 0
         noise = arr[pos]
-        self._noise_pos = pos + 1
+        state[1] = pos + 1
         if noise > (hi := 3 * jitter):
             noise = hi
         elif noise < -hi:
@@ -303,23 +367,24 @@ class VectorGeoLatencyModel(GeoLatencyModel):
         k = bases.shape[0]
         if k == 0:
             return list(self_bases)
-        arr = self._noise_arr
-        pos = self._noise_pos
         if self._noise_sigma != jitter:
-            arr = self._noise_arr = np.empty(0)
+            self._arr_streams.clear()
             self._noise_sigma = jitter
-            pos = 0
+        state = self._arr_streams.get(src)
+        if state is None:
+            state = self._arr_stream(src)
+        arr, pos, gen = state
         noise = np.empty(k)
         filled = 0
         while filled < k:
             if pos >= arr.shape[0]:
-                arr = self._noise_arr = self._rng.normal(0.0, jitter, 1024)
+                arr = state[0] = gen.normal(0.0, jitter, 1024)
                 pos = 0
             take = min(k - filled, arr.shape[0] - pos)
             noise[filled : filled + take] = arr[pos : pos + take]
             filled += take
             pos += take
-        self._noise_pos = pos
+        state[1] = pos
         hi = 3 * jitter
         np.clip(noise, -hi, hi, out=noise)
         noise += 1.0

@@ -104,9 +104,16 @@ class Network:
         )
         self.faults = faults
         self.reliable: Optional[ReliableLayer] = None
+        #: Broadcast dissemination strategy (``None`` = native all2all).
+        self.dissemination = None
         self._processes: Dict[int, SimProcess] = {}
         self._replicas: List[int] = []
         self._trace_hooks: List[TraceHook] = []
+        # Shard mode (see ``enable_sharding``): deliveries to pids outside
+        # ``_local_pids`` are captured as cross-shard frames instead of
+        # being scheduled locally.  ``None`` = everything is local.
+        self._local_pids: Optional[frozenset] = None
+        self._capture: Optional[Callable[[int, int, int, Message], None]] = None
         self.messages_delivered = 0
         self.bytes_delivered = 0
         self.unroutable_dropped = 0
@@ -116,7 +123,8 @@ class Network:
         self._coalesce = False
         self._coalesce_window_us = 0
         self._outboxes: Dict[Tuple[int, int], List[Message]] = {}
-        self._flush_scheduled = False
+        #: Senders with an armed window-flush timer (window > 0 only).
+        self._flush_timers: set = set()
         # Per-link delivery counters keyed by the packed pid pair
         # ``(src << 20) | dst`` — an int key skips the per-message tuple
         # allocation and tuple hash a ``(src, dst)`` key would cost.
@@ -129,13 +137,55 @@ class Network:
         self.reliable = ReliableLayer(self, config)
         return self.reliable
 
+    def set_dissemination(self, strategy) -> None:
+        """Install a broadcast dissemination strategy (see
+        :mod:`repro.net.dissemination`); ``None`` restores native all2all."""
+        self.dissemination = strategy
+
+    def enable_sharding(
+        self,
+        local_pids,
+        capture: Callable[[int, int, int, Message], None],
+    ) -> None:
+        """Partition this network for a shard worker.
+
+        Delivery times are computed entirely sender-side (egress queueing,
+        the sender's jitter stream, per-link fault draws), so a delivery
+        whose destination lives on another shard is complete the moment
+        its arrival time is known: ``capture(src, dst, arrival_abs_us,
+        message)`` records it as a cross-shard frame for the epoch barrier
+        instead of scheduling a local event.  The destination's worker
+        re-injects it via :meth:`inject_remote`.
+        """
+        self._local_pids = frozenset(local_pids)
+        self._capture = capture
+
+    def inject_remote(
+        self, src: int, dst: int, arrival_abs_us: int, message: Message
+    ) -> None:
+        """Schedule a cross-shard frame received at an epoch barrier.
+
+        The epoch bound guarantees ``arrival_abs_us > now`` (every frame
+        captured during epoch k arrives strictly after barrier k), so this
+        lands in a future bucket.  Delivery priority is ``src + 1``,
+        identical to a locally scheduled delivery — combined with the
+        per-sender frame order the coordinator preserves, the destination
+        bucket's total order is bit-identical to the single-process run.
+        """
+        sim = self.sim
+        sim.schedule_light(
+            arrival_abs_us - sim.now,
+            partial(self._deliver, src, dst, message),
+            priority=src + 1,
+        )
+
     def enable_coalescing(self, window_us: int = 0) -> None:
         """Turn on link-level frame coalescing.
 
         All messages emitted on one (src, dst) link during the same
         simulated instant (``window_us == 0``) — or within ``window_us``
-        of the first enqueue (``window_us > 0``) — leave as one physical
-        frame: one delivery event, one latency/bandwidth draw, one
+        of the sender's first enqueue (``window_us > 0``) — leave as one
+        physical frame: one delivery event, one latency/bandwidth draw, one
         checksum, and one fault draw.  Fault semantics are per frame (a
         dropped/corrupted frame takes every bundled message with it), and
         flushes walk links in sorted-pid order so RNG draws stay
@@ -258,7 +308,21 @@ class Network:
     def broadcast(
         self, src: int, message: Message, *, include_self: bool = True
     ) -> int:
-        """Fan one logical message out to the replica group, zero-copy.
+        """Fan one logical message out to the replica group.
+
+        With a dissemination strategy installed the strategy decides the
+        fan-out shape (relay tree, gossip pushes); otherwise this is the
+        native all2all path.
+        """
+        dissemination = self.dissemination
+        if dissemination is not None:
+            return dissemination.broadcast(self, src, message, include_self)
+        return self.broadcast_all2all(src, message, include_self=include_self)
+
+    def broadcast_all2all(
+        self, src: int, message: Message, *, include_self: bool = True
+    ) -> int:
+        """Fan one logical message out to every replica directly, zero-copy.
 
         The same :class:`Message` instance is shared by every recipient —
         ``estimate_size`` ran once at construction and the checksum is
@@ -369,11 +433,20 @@ class Network:
             delay = 0
         props = self.latency.one_way_block(src, dsts)
         deliver = self._deliver_clean
+        local = self._local_pids
+        capture = self._capture
         items = []
         for dst, prop in zip(dsts, props):
-            items.append((delay + prop, partial(deliver, src, dst, message)))
+            if local is not None and dst not in local:
+                capture(src, dst, now + delay + prop, message)
+            else:
+                items.append((delay + prop, partial(deliver, src, dst, message)))
             delay += ser
-        sim.schedule_block(items)
+        # Deliveries run at priority src+1: at any shared instant the
+        # destination processes timers/CPU completions (priority 0) first,
+        # then deliveries ordered by sender pid — a canonical order that no
+        # cross-shard insertion race can perturb.
+        sim.schedule_block(items, priority=src + 1)
         return count
 
     # ------------------------------------------------------------------
@@ -389,15 +462,28 @@ class Network:
         self.wire_stats.messages_sent += 1
         if self._coalesce_window_us == 0:
             self.sim.mark_instant_dirty()
-        elif not self._flush_scheduled:
-            # One shared flush event per burst: every message arriving
-            # within the window rides the same timer.
-            self._flush_scheduled = True
-            self.sim.schedule(self._coalesce_window_us, self._window_flush)
+        elif src not in self._flush_timers:
+            # One flush timer per *sender* per burst: the sender's own
+            # first enqueue arms it, so a node's flush times are a pure
+            # function of its own timeline.  (A cluster-global timer
+            # would couple every sender's flush to whoever enqueued
+            # first — physically odd for per-NIC batching, and it would
+            # break the sender-side-only property shard workers rely on.)
+            self._flush_timers.add(src)
+            self.sim.schedule(
+                self._coalesce_window_us, partial(self._window_flush, src)
+            )
 
-    def _window_flush(self) -> None:
-        self._flush_scheduled = False
-        self._flush_outboxes()
+    def _window_flush(self, src: int) -> None:
+        self._flush_timers.discard(src)
+        keys = [key for key in self._outboxes if key[0] == src]
+        if not keys:
+            # drain_pending beat the timer to these outboxes; nothing to do.
+            return
+        self.wire_stats.flushes += 1
+        flush_link = self._flush_link
+        for key in sorted(keys):
+            flush_link(key[0], key[1], self._outboxes.pop(key))
 
     def _flush_outboxes(self) -> None:
         """Send every dirty link's outbox as one physical frame per link.
@@ -485,10 +571,24 @@ class Network:
                 extra = min(extra, max(0, self.config.delta_us - propagation))
         ingress = self.bandwidth.ingress_delay_us(dst, size)
         arrival = departure + propagation + extra + ingress + extra_delay_us
+        local = self._local_pids
+        if local is not None and dst not in local:
+            # Shard worker: the destination lives elsewhere.  The arrival
+            # time above consumed exactly the sender-side state a
+            # single-process run would have (egress queue, jitter stream,
+            # fault draw happened in the caller), so handing the frame to
+            # the barrier keeps both sides bit-identical.
+            self._capture(src, dst, arrival, message)
+            return
         # ``arrival >= now`` by construction (departure is never in the
         # past and the remaining terms are non-negative), so this can skip
-        # schedule_at's bounds check and call schedule directly.
-        sim.schedule(arrival - sim.now, partial(self._deliver, src, dst, message))
+        # schedule_at's bounds check.  Priority src+1 gives same-instant
+        # deliveries a canonical sender-pid order (see _broadcast_fast).
+        sim.schedule_light(
+            arrival - sim.now,
+            partial(self._deliver, src, dst, message),
+            priority=src + 1,
+        )
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
@@ -507,6 +607,13 @@ class Network:
             return
         if self.reliable is not None and message.kind in (FRAME_KIND, ACK_KIND):
             self.reliable.on_receive(src, dst, message, process)
+            return
+        dissemination = self.dissemination
+        if dissemination is not None and message.kind in dissemination.kinds:
+            # Relay envelope: the strategy forwards down the tree / pushes
+            # to gossip peers, then delivers the inner message itself (it
+            # also handles crashed relays, counting the starved subtree).
+            dissemination.on_envelope(self, src, dst, message)
             return
         if process.crashed:
             return
@@ -543,10 +650,13 @@ class Network:
         now = self.sim.now
         trace_hooks = self._trace_hooks
         stats = self._link_stats
+        dissemination = self.dissemination
         batch: List[Message] = []
         for inner in bundle.payload:
             if reliable is not None and inner.kind in (FRAME_KIND, ACK_KIND):
                 reliable.on_receive(src, dst, inner, process)
+            elif dissemination is not None and inner.kind in dissemination.kinds:
+                dissemination.on_envelope(self, src, dst, inner)
             elif not process.crashed:
                 self.messages_delivered += 1
                 self.bytes_delivered += inner.size
@@ -592,6 +702,12 @@ class Network:
     ) -> None:
         """Hand an application-level message to its destination process,
         updating delivery counters and firing trace hooks."""
+        dissemination = self.dissemination
+        if dissemination is not None and message.kind in dissemination.kinds:
+            # Reliable-layer frames reach here bypassing ``_deliver``; an
+            # envelope payload must still be routed through the strategy.
+            dissemination.on_envelope(self, src, dst, message)
+            return
         self.messages_delivered += 1
         self.bytes_delivered += message.size
         if self._link_stats is not None:

@@ -11,20 +11,33 @@ bucket instead: the bucket list *is* the arena column, the implicit
 priority is 0 and the implicit sequence number is the arrival position,
 which is exactly what the global insertion counter would have assigned.
 
-Two invariants make the mixed representation safe and bit-identical:
+Fire-and-forget work at a non-zero priority (network deliveries run at
+``priority = src + 1`` so same-instant ordering is canonical across shard
+layouts) is stored as a two-tuple ``(priority, callback)`` — still no
+counter bump and no 5-slot record, just one tuple.
+
+Three invariants make the mixed representation safe and bit-identical:
 
 - a bucket is kept sorted by priority with FIFO order among equals.  The
   base engine's ``(priority, seq)`` key reduces to exactly this because
   ``seq`` is globally monotonic, so ``insort``-by-priority (``bisect_right``
   semantics: new entries land after their priority peers) reproduces the
   original total order;
-- bare entries cannot be cancelled, so the drain loop's cancellation scan
-  only ever inspects real :class:`Event` records.
+- bare/tuple entries cannot be cancelled, so the drain loop's cancellation
+  scan only ever inspects real :class:`Event` records;
+- tuple entries are only created with ``priority > 0``, so the implicit
+  priority of a bare callback stays 0.
 
 Drained bucket lists are recycled through a free-list instead of being
-re-allocated every simulated instant.  ``schedule``/``schedule_at`` still
-return real, cancellable events, so timers, the watchdog and the coalescing
-end-of-instant hooks run unmodified.
+re-allocated every simulated instant.  The free list is bounded two ways:
+at most ``_FREE_BUCKET_LIMIT`` lists are kept, and a list longer than
+``_FREE_BUCKET_ENTRY_LIMIT`` at drain time goes back to the allocator —
+an n=100 broadcast burst must not pin its peak-sized bucket for the rest
+of the run (CPython's ``list.clear`` releases the item array, but the cap
+keeps the bound independent of that implementation detail).
+``schedule``/``schedule_at`` still return real, cancellable events, so
+timers, the watchdog and the coalescing end-of-instant hooks run
+unmodified.
 """
 
 from __future__ import annotations
@@ -37,11 +50,20 @@ from repro.sim.engine import Event, SimulationError, Simulator
 
 #: Bucket lists kept for reuse; beyond this they go back to the allocator.
 _FREE_BUCKET_LIMIT = 64
+#: Buckets that drained more entries than this are not recycled: one
+#: paper-scale burst must not hold its peak allocation for the whole run.
+_FREE_BUCKET_ENTRY_LIMIT = 512
 
 
 def _entry_priority(entry) -> int:
-    """Sort key over mixed bucket entries: bare callbacks are priority 0."""
-    return entry.priority if entry.__class__ is Event else 0
+    """Sort key over mixed bucket entries: bare callbacks are priority 0,
+    fire-and-forget tuples carry theirs in slot 0."""
+    cls = entry.__class__
+    if cls is Event:
+        return entry.priority
+    if cls is tuple:
+        return entry[0]
+    return 0
 
 
 class ArenaSimulator(Simulator):
@@ -83,7 +105,7 @@ class ArenaSimulator(Simulator):
             heapq.heappush(self._times, when)
         else:
             tail = bucket[-1]
-            if priority >= (tail.priority if tail.__class__ is Event else 0):
+            if priority >= _entry_priority(tail):
                 bucket.append(event)
             else:
                 lo = self._head_pos if when == self._head_time else 0
@@ -91,55 +113,60 @@ class ArenaSimulator(Simulator):
         self._pending += 1
         return event
 
-    def schedule_light(self, delay: int, callback: Callable[[], None]) -> None:
-        """Priority-0 schedule with no :class:`Event` record at all."""
+    def schedule_light(
+        self, delay: int, callback: Callable[[], None], *, priority: int = 0
+    ) -> None:
+        """Fire-and-forget schedule with no :class:`Event` record at all:
+        a bare callback at priority 0, a ``(priority, callback)`` tuple
+        otherwise."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         when = self._now + int(delay)
+        entry = callback if priority == 0 else (priority, callback)
         bucket = self._buckets.get(when)
         if bucket is None:
             free = self._free_buckets
             if free:
                 bucket = free.pop()
-                bucket.append(callback)
+                bucket.append(entry)
             else:
-                bucket = [callback]
+                bucket = [entry]
             self._buckets[when] = bucket
             heapq.heappush(self._times, when)
         else:
-            tail = bucket[-1]
-            if tail.__class__ is Event and tail.priority > 0:
+            if _entry_priority(bucket[-1]) > priority:
                 lo = self._head_pos if when == self._head_time else 0
-                insort(bucket, callback, lo=lo, key=_entry_priority)
+                insort(bucket, entry, lo=lo, key=_entry_priority)
             else:
-                bucket.append(callback)
+                bucket.append(entry)
         self._pending += 1
 
-    def schedule_block(self, items: List) -> None:
+    def schedule_block(self, items: List, *, priority: int = 0) -> None:
         now = self._now
         times = self._times
         buckets = self._buckets
         free = self._free_buckets
         head_time = self._head_time
         head_pos = self._head_pos
+        wrap = priority != 0
         for delay, callback in items:
             when = now + delay
+            entry = (priority, callback) if wrap else callback
             bucket = buckets.get(when)
             if bucket is None:
                 if free:
                     bucket = free.pop()
-                    bucket.append(callback)
+                    bucket.append(entry)
                 else:
-                    bucket = [callback]
+                    bucket = [entry]
                 buckets[when] = bucket
                 heapq.heappush(times, when)
             else:
-                tail = bucket[-1]
-                if tail.__class__ is Event and tail.priority > 0:
+                if _entry_priority(bucket[-1]) > priority:
                     lo = head_pos if when == head_time else 0
-                    insort(bucket, callback, lo=lo, key=_entry_priority)
+                    insort(bucket, entry, lo=lo, key=_entry_priority)
                 else:
-                    bucket.append(callback)
+                    bucket.append(entry)
         self._pending += len(items)
 
     # ------------------------------------------------------------------
@@ -176,7 +203,10 @@ class ArenaSimulator(Simulator):
 
     def _release_bucket(self, bucket: list) -> None:
         free = self._free_buckets
-        if len(free) < _FREE_BUCKET_LIMIT:
+        if (
+            len(free) < _FREE_BUCKET_LIMIT
+            and len(bucket) <= _FREE_BUCKET_ENTRY_LIMIT
+        ):
             bucket.clear()
             free.append(bucket)
 
@@ -194,8 +224,11 @@ class ArenaSimulator(Simulator):
         self._pending -= 1
         self._now = when
         self._processed += 1
-        if entry.__class__ is Event:
+        cls = entry.__class__
+        if cls is Event:
             entry.callback()
+        elif cls is tuple:
+            entry[1]()
         else:
             entry()
         return True
@@ -237,7 +270,11 @@ class ArenaSimulator(Simulator):
                         break
                     heapq.heappop(times)
                     del buckets[t]
-                    if len(free) < _FREE_BUCKET_LIMIT:  # _release_bucket, inlined
+                    # _release_bucket, inlined: bounded count AND entry cap.
+                    if (
+                        len(free) < _FREE_BUCKET_LIMIT
+                        and len(bucket) <= _FREE_BUCKET_ENTRY_LIMIT
+                    ):
                         bucket.clear()
                         free.append(bucket)
                     self._head_time = -1
@@ -257,8 +294,11 @@ class ArenaSimulator(Simulator):
                     self._head_pos = pos + 1
                     self._pending -= 1
                     self._processed += 1
-                    if entry.__class__ is Event:
+                    cls = entry.__class__
+                    if cls is Event:
                         entry.callback()
+                    elif cls is tuple:
+                        entry[1]()
                     else:
                         entry()
                     executed += 1

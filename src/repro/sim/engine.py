@@ -164,8 +164,8 @@ class Simulator:
         self._pending += 1
         return event
 
-    def schedule_block(self, items: List) -> None:
-        """Schedule many ``(delay, callback)`` pairs at priority 0.
+    def schedule_block(self, items: List, *, priority: int = 0) -> None:
+        """Schedule many ``(delay, callback)`` pairs at one ``priority``.
 
         The per-event bookkeeping (bucket/heap lookups, the pending
         counter) is hoisted out of the loop; delays must be non-negative —
@@ -180,19 +180,21 @@ class Simulator:
         head_pos = self._head_pos
         for delay, callback in items:
             when = now + delay
-            event = Event(when, 0, next(counter), callback)
+            event = Event(when, priority, next(counter), callback)
             bucket = buckets.get(when)
             if bucket is None:
                 buckets[when] = [event]
                 heapq.heappush(times, when)
-            elif bucket[-1].priority <= 0:
+            elif bucket[-1].priority <= priority:
                 bucket.append(event)
             else:
                 lo = head_pos if when == head_time else 0
                 insort(bucket, event, lo=lo, key=_EVENT_KEY)
         self._pending += len(items)
 
-    def schedule_light(self, delay: int, callback: Callable[[], None]) -> None:
+    def schedule_light(
+        self, delay: int, callback: Callable[[], None], *, priority: int = 0
+    ) -> None:
         """Fire-and-forget :meth:`schedule`: the caller promises it will
         never cancel (or even hold) the resulting event.
 
@@ -200,7 +202,7 @@ class Simulator:
         unchanged; accelerated backends exploit the promise to skip the
         per-event record entirely (see :mod:`repro.sim.arena`).
         """
-        self.schedule(delay, callback)
+        self.schedule(delay, callback, priority=priority)
 
     def schedule_at(
         self,

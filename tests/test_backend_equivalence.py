@@ -243,6 +243,21 @@ def test_arena_bucket_recycling_bounded():
     assert len(sim._free_buckets) <= _FREE_BUCKET_LIMIT
 
 
+def test_arena_oversized_buckets_not_recycled():
+    # One burst instant far over the entry cap (an n=100 broadcast) must
+    # not park its peak-sized list on the free list for the whole run:
+    # only the small instant's bucket comes back.
+    from repro.sim.arena import _FREE_BUCKET_ENTRY_LIMIT
+
+    sim = ArenaSimulator()
+    for _ in range(_FREE_BUCKET_ENTRY_LIMIT + 100):
+        sim.schedule_light(5, lambda: None)
+    sim.schedule_light(10, lambda: None)
+    sim.run(until=20)
+    assert len(sim._free_buckets) == 1
+    assert sim.pending == 0
+
+
 # ----------------------------------------------------------------------
 # Config plumbing
 # ----------------------------------------------------------------------

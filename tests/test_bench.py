@@ -73,7 +73,8 @@ class TestMacroCell:
 
     def test_prefix_digest_sensitive_to_output(self):
         class FakeNode:
-            def __init__(self, out):
+            def __init__(self, pid, out):
+                self.pid = pid
                 self._out = out
 
             def output_sequence(self):
@@ -81,7 +82,7 @@ class TestMacroCell:
 
         class FakeCluster:
             def __init__(self, outs):
-                self.nodes = [FakeNode(o) for o in outs]
+                self.nodes = [FakeNode(pid, o) for pid, o in enumerate(outs)]
 
         a = prefix_digest(FakeCluster([[(0, b"aa")], [(0, b"aa")]]))
         same = prefix_digest(FakeCluster([[(0, b"aa")], [(0, b"aa")]]))
