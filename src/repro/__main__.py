@@ -9,6 +9,7 @@ Usage::
     python -m repro rounds          # good-case message delays (Theorem 3)
     python -m repro lambda          # λ ablation (§VI-B)
     python -m repro batch           # batch-size ablation (§VI-B)
+    python -m repro distance        # distance-estimator error ablation
     python -m repro byzantine       # §VI-D behaviours + censorship
     python -m repro obfuscation     # VSS vs hash commit-reveal
     python -m repro decomp          # latency decomposition + Δ sensitivity
@@ -84,6 +85,9 @@ def _config_from_args(args, n: int, seed: int):
         backend=getattr(args, "backend", "python"),
         dissemination=getattr(args, "dissemination", None) or "all2all",
         fanout=getattr(args, "fanout", 8),
+        distance_mode=getattr(args, "distance_mode", None) or "probe",
+        gossip_fanout=getattr(args, "gossip_fanout", 3),
+        gossip_rounds=getattr(args, "gossip_rounds", 6),
     )
 
 
@@ -113,6 +117,25 @@ def _add_config_flags(parser) -> None:
         type=int,
         default=8,
         help="relay fan-out for tree/gossip dissemination (default 8)",
+    )
+    parser.add_argument(
+        "--distance-mode",
+        choices=["probe", "gossip"],
+        default="probe",
+        help="warm-up distance estimation: all-to-all probes (default) or "
+        "epidemic gossip averaging (O(n·fanout) messages per round)",
+    )
+    parser.add_argument(
+        "--gossip-fanout",
+        type=int,
+        default=3,
+        help="peers contacted per gossip distance round (default 3)",
+    )
+    parser.add_argument(
+        "--gossip-rounds",
+        type=int,
+        default=6,
+        help="gossip distance rounds during warm-up (default 6)",
     )
 
 
@@ -153,6 +176,27 @@ def cmd_lambda(args) -> None:
 
 def cmd_batch(args) -> None:
     _print("BATCH — batch-size sweep", exp.batch_ablation())
+
+
+def cmd_distance(args) -> None:
+    import json
+    import os
+
+    rows = exp.ablation_distance_error(
+        tuple(args.rounds) if args.rounds else (1, 2, 4, 6),
+        n=args.n,
+        seed=args.seed,
+    )
+    _print("DIST — estimator error vs λ-validation failures", rows)
+    path = args.out or "ABLATION_distance_error.json"
+    outdir = os.path.dirname(path)
+    if outdir:
+        os.makedirs(outdir, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"n": args.n, "seed": args.seed, "rows": rows},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nartifact written to {path}")
 
 
 def cmd_byzantine(args) -> None:
@@ -678,6 +722,9 @@ def cmd_bench(args) -> None:
         shards=args.shards,
         dissemination=args.dissemination,
         fanout=args.fanout,
+        gossip_distance=args.gossip_distance,
+        gossip_round_budgets=tuple(args.gossip_rounds),
+        gossip_fanout=args.gossip_fanout,
         profile=args.profile,
     )
     out = args.out or default_output_path()
@@ -759,6 +806,20 @@ def cmd_bench(args) -> None:
         else:
             print(
                 f"\nBENCH DISSEMINATION CHECK ({args.dissemination}): PASS"
+            )
+    if args.gossip_distance:
+        from repro.bench.suite import check_gossip_distance
+
+        gd_failures = check_gossip_distance(report)
+        if gd_failures:
+            print("\nBENCH GOSSIP-DISTANCE CHECK: FAIL")
+            for f in gd_failures:
+                print(f"  - {f}")
+            failed = True
+        else:
+            print(
+                "\nBENCH GOSSIP-DISTANCE CHECK: PASS "
+                "(safe, converged, O(n*fanout) wire bound held)"
             )
     if args.observability:
         from repro.bench.suite import check_observability
@@ -881,6 +942,25 @@ def main(argv=None) -> int:
     sub.add_parser("rounds").set_defaults(fn=cmd_rounds)
     sub.add_parser("lambda").set_defaults(fn=cmd_lambda)
     sub.add_parser("batch").set_defaults(fn=cmd_batch)
+    pdist = sub.add_parser(
+        "distance",
+        help="distance-estimator error ablation (probe vs gossip rounds)",
+    )
+    pdist.add_argument("--n", type=int, default=16, help="cluster size")
+    pdist.add_argument("--seed", type=int, default=23)
+    pdist.add_argument(
+        "--rounds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="gossip round budgets to sweep (default: 1 2 4 6)",
+    )
+    pdist.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: ./ABLATION_distance_error.json)",
+    )
+    pdist.set_defaults(fn=cmd_distance)
     sub.add_parser("byzantine").set_defaults(fn=cmd_byzantine)
     sub.add_parser("obfuscation").set_defaults(fn=cmd_obfuscation)
     sub.add_parser("decomp").set_defaults(fn=cmd_decomp)
@@ -1038,6 +1118,27 @@ def main(argv=None) -> int:
         type=int,
         default=8,
         help="relay fan-out for --dissemination tree/gossip (default 8)",
+    )
+    pbench.add_argument(
+        "--gossip-distance",
+        action="store_true",
+        help="also run headline twin cells with epidemic gossip distance "
+        "estimation, sweeping --gossip-rounds budgets, and fail on any "
+        "safety, convergence, or O(n*fanout) wire-bound violation",
+    )
+    pbench.add_argument(
+        "--gossip-rounds",
+        type=int,
+        nargs="+",
+        default=[2, 6],
+        metavar="R",
+        help="gossip round budgets for --gossip-distance twins (default 2 6)",
+    )
+    pbench.add_argument(
+        "--gossip-fanout",
+        type=int,
+        default=3,
+        help="peers contacted per gossip distance round (default 3)",
     )
     pbench.add_argument(
         "--profile",

@@ -9,6 +9,7 @@ from repro.bench.suite import (
     BENCH_SCHEMA_VERSION,
     check_against_baseline,
     check_backend_equivalence,
+    check_gossip_distance,
     default_output_path,
     environment_block,
     run_bench_suite,
@@ -19,6 +20,7 @@ __all__ = [
     "run_bench_suite",
     "check_against_baseline",
     "check_backend_equivalence",
+    "check_gossip_distance",
     "default_output_path",
     "environment_block",
 ]

@@ -24,7 +24,7 @@ import sys
 import time
 from datetime import date
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -407,6 +407,14 @@ def _run_macro_cell(
         cell["fanout"] = config.fanout
         if "dissemination" in wire:
             cell["dissemination_stats"] = wire["dissemination"]
+    if config.distance_mode != "probe":
+        cell["distance_mode"] = config.distance_mode
+        cell["gossip_fanout"] = config.gossip_fanout
+        cell["gossip_rounds"] = config.gossip_rounds
+        if "gossip_distance" in wire:
+            cell["gossip_distance"] = wire["gossip_distance"]
+        if "distance_error" in wire:
+            cell["distance_error"] = wire["distance_error"]
     if profiler is not None:
         # Profiled cells carry instrumentation overhead: their events/sec
         # is not baseline-comparable and the checker skips it.
@@ -498,6 +506,9 @@ def run_bench_suite(
     shards: int = 1,
     dissemination: Optional[str] = None,
     fanout: int = 8,
+    gossip_distance: bool = False,
+    gossip_round_budgets: Sequence[int] = (2, 6),
+    gossip_fanout: int = 3,
     profile: bool = False,
     progress: Optional[Callable[[str], None]] = print,
 ) -> Dict[str, Any]:
@@ -527,6 +538,13 @@ def run_bench_suite(
     strategy and the given ``fanout`` — ``check_dissemination`` then
     requires a degenerate tree (fanout >= n-1) to reproduce the all2all
     digest exactly.
+    ``gossip_distance`` adds a ``<headline>_gdist<r>`` twin per round
+    budget in ``gossip_round_budgets``, running warm-up distance
+    estimation through the epidemic gossip estimator
+    (``distance_mode="gossip"``) instead of all-to-all probes —
+    ``check_gossip_distance`` then gates safety, full convergence at the
+    largest budget, and the O(n·fanout) wire bound (no node requests
+    more than ``gossip_fanout`` peers in any round).
     ``profile`` wraps each macro cell in cProfile and attaches the top-20
     cumulative functions (``profile_top``); profiled events/sec carries
     instrumentation overhead and is excluded from baseline comparison.
@@ -588,6 +606,23 @@ def run_bench_suite(
                     f"{name}_{dissemination}",
                     dataclasses.replace(
                         base_cfg, dissemination=dissemination, fanout=fanout
+                    ),
+                )
+            )
+    if gossip_distance:
+        # Gossip-distance twins of the headline cell, one per warm-up
+        # round budget: the sweep shows how fast the epidemic estimator
+        # buys back the probe path's accuracy while never costing more
+        # than n·fanout messages per round.
+        for rounds in gossip_round_budgets:
+            cells.append(
+                (
+                    f"{headline}_gdist{rounds}",
+                    dataclasses.replace(
+                        cfg,
+                        distance_mode="gossip",
+                        gossip_fanout=gossip_fanout,
+                        gossip_rounds=rounds,
                     ),
                 )
             )
@@ -786,11 +821,11 @@ def check_sharding(report: Dict[str, Any]) -> List[str]:
                 f"!= single-process cell {base.get('prefix_sha256')} "
                 f"({twin.get('shards')}-shard divergence)"
             )
-        # events_processed is NOT compared: every worker runs its own
-        # watchdog/housekeeping timer chain, so the summed count sits a
-        # hair above the single-process one by construction.  The
-        # semantic counters must match exactly.
-        for key in ("committed", "executed_total"):
+        # events_processed IS compared: remote clients are neutered with
+        # their timer chains cancelled, and the coordinator subtracts the
+        # duplicate per-worker watchdog tick chains at merge time, so the
+        # sharded count must equal the single-process one exactly.
+        for key in ("events", "committed", "executed_total"):
             if twin.get(key) != base.get(key):
                 failures.append(
                     f"{name}: {key} {twin.get(key)} != "
@@ -843,6 +878,57 @@ def check_dissemination(report: Dict[str, Any]) -> List[str]:
         failures.append(
             "report has no dissemination twin cells "
             "(run the suite with dissemination='tree'/'gossip')"
+        )
+    return failures
+
+
+def check_gossip_distance(report: Dict[str, Any]) -> List[str]:
+    """Gossip distance-estimation gates within one report.
+
+    Every ``*_gdist<r>`` twin must stay safe and must respect the
+    O(n·fanout) wire bound: the per-node wire accounting's
+    ``max_requests_per_round`` can never exceed ``gossip_fanout`` (a
+    node that probed more peers than its fan-out in any round would be
+    doing hidden all-to-all work).  The twin with the *largest* round
+    budget must additionally reach full convergence — every node's
+    estimator covering all n-1 peers — because that is the budget the
+    default configuration ships with.
+    """
+    failures: List[str] = []
+    twins = [
+        (name, cell)
+        for name, cell in report.get("macro", {}).items()
+        if cell.get("distance_mode") == "gossip"
+    ]
+    if not twins:
+        return [
+            "report has no gossip-distance twin cells "
+            "(run the suite with gossip_distance=True)"
+        ]
+    for name, cell in twins:
+        if cell.get("safety_violation") or cell.get("invariant_violations"):
+            failures.append(
+                f"{name}: gossip distance estimation broke safety: "
+                f"{cell.get('safety_violation') or cell.get('invariant_violations')}"
+            )
+        stats = cell.get("gossip_distance")
+        if not stats:
+            failures.append(f"{name}: cell carries no gossip wire stats")
+            continue
+        fanout = cell.get("gossip_fanout", 0)
+        if stats.get("max_requests_per_round", 0) > fanout:
+            failures.append(
+                f"{name}: a node sent {stats['max_requests_per_round']} "
+                f"gossip requests in one round, above fanout {fanout} "
+                f"(O(n*fanout) bound violated)"
+            )
+    best_name, best = max(twins, key=lambda nc: nc[1].get("gossip_rounds", 0))
+    stats = best.get("gossip_distance") or {}
+    n = best.get("n", 0)
+    if stats and stats.get("converged_nodes", 0) < n:
+        failures.append(
+            f"{best_name}: only {stats.get('converged_nodes', 0)}/{n} nodes "
+            f"converged within {best.get('gossip_rounds')} gossip rounds"
         )
     return failures
 

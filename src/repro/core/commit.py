@@ -187,6 +187,12 @@ class CommitState:
         self.rejected_count = 0
         self.accepted_count = 0
         self.rate_limited_count = 0
+        # Equation-1 failures: the broadcaster's prediction for our clock
+        # missed by more than λ.  This is the precise downstream symptom
+        # of distance-estimator error, scraped by the distance-error
+        # ablation and the metrics registry.
+        self.lambda_rejects = 0
+        self.validations = 0
         # Flooding mitigation: token bucket per proposer (tokens = spare
         # validation budget, refilled at max_proposer_rate_per_s).
         self._rate_tokens: Dict[int, float] = {}
@@ -219,8 +225,10 @@ class CommitState:
             return False
         s = requested_sequence(preds, self.services.f)
         seq_i = self.perceived.observe(cipher.cipher_id)
+        self.validations += 1
         # Equation 1: the broadcaster predicted our clock within λ.
         if abs(seq_i - preds[self.services.pid]) > self.config.lambda_us:
+            self.lambda_rejects += 1
             return False
         # Acceptance window: the prefix of s is not locally locked.
         if s <= seq_i - self.L:

@@ -50,8 +50,13 @@ class DistanceEstimator:
         return 0.5 * (ordered[mid - 1] + ordered[mid])
 
     def record(self, peer: int, s_ref: int, seq_j: int) -> None:
-        """Fold in one observation ``d = seq_j - s_ref`` for ``peer``."""
-        if not (0 <= peer < self.n):
+        """Fold in one observation ``d = seq_j - s_ref`` for ``peer``.
+
+        Samples claiming to be from ourselves are dropped: the self entry
+        is the 0.0 anchor seeded at construction (``d_ii = 0`` by
+        definition) and a spoofed or reflected sample must not displace it.
+        """
+        if peer == self.self_pid or not (0 <= peer < self.n):
             return
         sample = float(seq_j - s_ref)
         history = self._history.get(peer)
@@ -70,13 +75,32 @@ class DistanceEstimator:
     def samples(self, peer: int) -> int:
         return self._samples.get(peer, 0)
 
+    def peers_measured(self) -> int:
+        """Number of *peers* (self excluded) with at least one sample."""
+        return sum(
+            1
+            for pid, history in self._history.items()
+            if pid != self.self_pid and history
+        )
+
     def coverage(self) -> float:
-        """Fraction of peers with at least one sample."""
-        return len(self._history) / self.n
+        """Fraction of peers (self excluded) with at least one sample.
+
+        The self entry is seeded at construction and carries no
+        measurement information, so it must not contribute: a node that
+        has heard from nobody reports 0.0, not ``1/n``.
+        """
+        if self.n <= 1:
+            return 1.0
+        return self.peers_measured() / (self.n - 1)
 
     def ready(self, quorum: int) -> bool:
-        """Enough peers measured to predict a quorum of sequence numbers?"""
-        return len(self._history) >= quorum
+        """Enough peers measured to predict a quorum of sequence numbers?
+
+        Counts measured peers only — the free self anchor does not make a
+        node "ready" before any probe reply has arrived.
+        """
+        return self.peers_measured() >= quorum
 
     def _blank_value(self) -> float:
         """Fill-in for unmeasured (possibly Byzantine-silent) peers: the

@@ -42,6 +42,11 @@ from repro.core.commit import (
 from repro.core.dbft import AUX_KIND, BinaryConsensus, COORD_KIND
 from repro.core.bv_broadcast import BV_KIND
 from repro.core.distance import DistanceEstimator
+from repro.core.gossip_distance import (
+    DEFAULT_GOSSIP_FANOUT,
+    DEFAULT_GOSSIP_ROUNDS,
+    GossipDistanceEstimator,
+)
 from repro.core.obfuscation import make_obfuscation
 from repro.core.services import ProtocolServices
 from repro.core.types import AcceptedEntry, Batch, InstanceId, Transaction
@@ -62,6 +67,8 @@ from repro.sim.rng import RngRegistry
 
 PROBE_KIND = "lyra.probe"
 PROBE_ACK_KIND = "lyra.probe_ack"
+GDIST_KIND = "lyra.gdist"
+GDIST_ACK_KIND = "lyra.gdist_ack"
 CLIENT_TX_KIND = "client.tx"
 CLIENT_REPLY_KIND = "client.reply"
 CATCHUP_REQ_KIND = "lyra.catchup_req"
@@ -69,6 +76,35 @@ CATCHUP_RSP_KIND = "lyra.catchup_rsp"
 
 #: Cap on committed-log entries shipped per catch-up response.
 CATCHUP_CHUNK = 512
+
+#: Valid values of the ``distance_mode`` knob (``LyraConfig`` and
+#: ``ExperimentConfig`` share it; the harness resolves it per node).
+DISTANCE_MODES = ("probe", "gossip")
+
+#: The warm-up defaults, defined ONCE.  ``ExperimentConfig`` imports these
+#: so direct ``LyraConfig`` users and harness users agree on when the
+#: warm-up ends and clients may start (they used to disagree: 150 ms here
+#: vs 200 ms in the harness — a real divergence bug, now pinned by a
+#: regression test).
+DEFAULT_WARMUP_ROUNDS = 4
+DEFAULT_WARMUP_SPACING_US = 200 * MILLISECONDS
+
+#: Per-message wire overhead of a gossip distance exchange: reference
+#: value, round number, incarnation, vector length.
+GDIST_HEADER_BYTES = 16
+#: Bytes per (peer, estimate, weight) vector entry.
+GDIST_ENTRY_BYTES = 12
+
+
+def warmup_duration_us(rounds: int, spacing_us: int) -> int:
+    """When the distance warm-up is considered done (§IV-B1).
+
+    The single source of truth for the formula: ``rounds`` probe/gossip
+    rounds plus two spacings of slack for the last replies to land.  Both
+    ``LyraConfig.warmup_duration_us`` and the harness's client start gate
+    delegate here.
+    """
+    return rounds * spacing_us + 2 * spacing_us
 
 
 @dataclass
@@ -82,11 +118,26 @@ class LyraConfig:
     #: Heartbeat period for STATUS broadcasts (commit progress when idle).
     status_interval_us: int = 25 * MILLISECONDS
     #: Warm-up probing: rounds and spacing (§IV-B1).
-    warmup_rounds: int = 4
-    warmup_spacing_us: int = 150 * MILLISECONDS
+    warmup_rounds: int = DEFAULT_WARMUP_ROUNDS
+    warmup_spacing_us: int = DEFAULT_WARMUP_SPACING_US
     #: Background distance re-probing period (0 disables); keeps the
     #: ``d_ij`` estimates fresh after GST even if warm-up was adversarial.
     probe_refresh_us: int = 1_000 * MILLISECONDS
+    #: Distance learning: ``"probe"`` (§IV-B1 all-to-all warm-up, the
+    #: default) or ``"gossip"`` (epidemic constant-fan-out estimation,
+    #: ``repro.core.gossip_distance``).
+    distance_mode: str = "probe"
+    #: Peers contacted per gossip round (gossip mode only).
+    gossip_fanout: int = DEFAULT_GOSSIP_FANOUT
+    #: Scheduled warm-up gossip rounds (gossip mode only).
+    gossip_rounds: int = DEFAULT_GOSSIP_ROUNDS
+    #: Spacing between gossip rounds.  Shorter than the probe spacing:
+    #: each round is fanout point-to-point exchanges, not a broadcast, so
+    #: several rounds must fit inside the same warm-up window.
+    gossip_spacing_us: int = 50 * MILLISECONDS
+    #: Seed of the deterministic gossip peer selection (the harness passes
+    #: the experiment seed so all nodes agree and runs stay reproducible).
+    gossip_seed: int = 0
     #: ``"vss"`` (§II-B) or ``"hash"`` (the prototype's scheme, §VI-A).
     obfuscation: str = "vss"
     #: Crypto cost model.
@@ -96,7 +147,7 @@ class LyraConfig:
     clock_drift: float = 1.0
 
     def warmup_duration_us(self) -> int:
-        return self.warmup_rounds * self.warmup_spacing_us + 2 * self.warmup_spacing_us
+        return warmup_duration_us(self.warmup_rounds, self.warmup_spacing_us)
 
 
 @dataclass
@@ -150,7 +201,23 @@ class LyraNode(SimProcess):
             drift=self.config.clock_drift,
         )
         self.perceived = PerceivedSequence(self.clock)
-        self.estimator = DistanceEstimator(n, pid)
+        if self.config.distance_mode not in DISTANCE_MODES:
+            raise ValueError(
+                f"unknown distance_mode {self.config.distance_mode!r}; "
+                f"expected one of {DISTANCE_MODES}"
+            )
+        if self.config.distance_mode == "gossip":
+            self.estimator: DistanceEstimator = GossipDistanceEstimator(
+                n,
+                pid,
+                fanout=self.config.gossip_fanout,
+                seed=self.config.gossip_seed,
+            )
+        else:
+            self.estimator = DistanceEstimator(n, pid)
+        #: Monotonic gossip round counter (never reused, so the seeded
+        #: peer selection never repeats a round's peer set).
+        self._gossip_round = 0
         self.mempool = Mempool(self.config.batch_size)
         self.stats = NodeStats()
 
@@ -221,6 +288,22 @@ class LyraNode(SimProcess):
         self._m_waves = registry.counter("commit", "waves", pid)
         self._m_dshares = registry.counter("reveal", "dshare_batches", pid)
         registry.add_source("node", self._metrics_source, pid)
+        registry.add_source("distance", self._distance_metrics_source, pid)
+
+    def _distance_metrics_source(self) -> Dict[str, float]:
+        """Distance-estimation health: coverage, gossip convergence, and
+        the λ-validation failure count (Equation-1 rejections are exactly
+        the failures estimator error causes downstream)."""
+        est = self.estimator
+        out: Dict[str, float] = {
+            "coverage": est.coverage(),
+            "peers_measured": float(est.peers_measured()),
+        }
+        if isinstance(est, GossipDistanceEstimator):
+            out.update(est.gossip_stats())
+        if self.commit is not None:
+            out["lambda_rejects"] = float(self.commit.lambda_rejects)
+        return out
 
     def _metrics_source(self) -> Dict[str, float]:
         """Scraped at registry snapshot time, never on the hot path."""
@@ -277,12 +360,15 @@ class LyraNode(SimProcess):
         if self._started:
             return
         self._started = True
-        for round_no in range(self.config.warmup_rounds):
-            self.sim.schedule(
-                round_no * self.config.warmup_spacing_us
-                + int(self.rng.integers(0, 5_000)),
-                self._send_probe,
-            )
+        if self.config.distance_mode == "gossip":
+            self._schedule_gossip_rounds(self.config.gossip_rounds)
+        else:
+            for round_no in range(self.config.warmup_rounds):
+                self.sim.schedule(
+                    round_no * self.config.warmup_spacing_us
+                    + int(self.rng.integers(0, 5_000)),
+                    self._send_probe,
+                )
         self.timers.set(
             "status", self.config.status_interval_us, self._status_tick
         )
@@ -296,8 +382,12 @@ class LyraNode(SimProcess):
 
     def _probe_refresh(self) -> None:
         # Distances drift (and pre-GST measurements may be adversarially
-        # biased): keep refreshing them in the background.
-        self._send_probe()
+        # biased): keep refreshing them in the background.  In gossip mode
+        # the refresh is one extra gossip round — still O(fanout) egress.
+        if self.config.distance_mode == "gossip":
+            self._gossip_tick()
+        else:
+            self._send_probe()
         self.timers.set(
             "probe-refresh", self.config.probe_refresh_us, self._probe_refresh
         )
@@ -356,6 +446,8 @@ class LyraNode(SimProcess):
         FETCH_KIND: 1,
         PROBE_KIND: 1,
         PROBE_ACK_KIND: 1,
+        GDIST_KIND: 2,
+        GDIST_ACK_KIND: 2,
         CLIENT_TX_KIND: 2,
         PB_PULL_KIND: 1,
     }
@@ -501,6 +593,10 @@ class LyraNode(SimProcess):
             self._on_probe(payload, sender)
         elif kind == PROBE_ACK_KIND:
             self._on_probe_ack(payload, sender)
+        elif kind == GDIST_KIND:
+            self._on_gdist(payload, sender)
+        elif kind == GDIST_ACK_KIND:
+            self._on_gdist_ack(payload, sender)
         elif kind == CLIENT_TX_KIND:
             self._on_client_tx(payload, sender)
         elif kind == DSHARE_KIND:
@@ -542,6 +638,85 @@ class LyraNode(SimProcess):
         ref, seq = payload.get("ref"), payload.get("seq")
         if isinstance(ref, int) and isinstance(seq, int):
             self.estimator.record(sender, ref, seq)
+
+    # ------------------------------------------------------------------
+    # Epidemic distance estimation (``distance_mode="gossip"``)
+    # ------------------------------------------------------------------
+    def _schedule_gossip_rounds(self, rounds: int) -> None:
+        """Schedule a burst of gossip rounds (warm-up, or post-recovery
+        re-estimation).  Each tick reads and advances the monotonic round
+        counter at fire time, so bursts never reuse a round number."""
+        spacing = self.config.gossip_spacing_us
+        for i in range(rounds):
+            self.sim.schedule(
+                i * spacing + int(self.rng.integers(0, 5_000)),
+                self._gossip_tick,
+            )
+
+    def _gossip_vector_message(self, kind: str, extra: dict) -> Message:
+        # A probe-mode node can still be asked (mixed fleets in tests):
+        # it answers with the clock sample and an empty vector.
+        vec = (
+            self.estimator.summary()
+            if isinstance(self.estimator, GossipDistanceEstimator)
+            else ()
+        )
+        payload = {
+            "round": self._gossip_round,
+            "inc": self.incarnation,
+            "vec": vec,
+        }
+        payload.update(extra)
+        return Message(
+            kind, payload, GDIST_HEADER_BYTES + GDIST_ENTRY_BYTES * len(vec)
+        )
+
+    def _gossip_tick(self) -> None:
+        """One epidemic round: exchange summaries with ``fanout`` peers.
+
+        Unlike ``_send_probe`` this is NOT a broadcast — egress is capped
+        at ``gossip_fanout`` point-to-point requests, the O(n·fanout)
+        per-round bound the wire-stats assertion pins.
+        """
+        if self.crashed or not isinstance(self.estimator, GossipDistanceEstimator):
+            return
+        round_no = self._gossip_round
+        self._gossip_round += 1
+        peers = self.estimator.begin_round(round_no, self.incarnation)
+        if not peers:
+            return
+        message = self._gossip_vector_message(
+            GDIST_KIND, {"ref": self.clock.now()}
+        )
+        for peer in peers:
+            self.send(peer, message)
+
+    def _on_gdist(self, payload: dict, sender: int) -> None:
+        """A peer's gossip request: fold its vector in, answer with our
+        clock reading (the direct ``d_ij`` sample for the requester) and
+        our own vector (the pull half of push-pull averaging)."""
+        ref = payload.get("ref")
+        if not isinstance(ref, int):
+            return
+        inc = payload.get("inc", 0)
+        if isinstance(self.estimator, GossipDistanceEstimator):
+            self.estimator.merge(sender, payload.get("vec", ()), inc)
+        self.send(
+            sender,
+            self._gossip_vector_message(
+                GDIST_ACK_KIND, {"ref": ref, "seq": self.clock.now()}
+            ),
+        )
+
+    def _on_gdist_ack(self, payload: dict, sender: int) -> None:
+        ref, seq = payload.get("ref"), payload.get("seq")
+        if isinstance(ref, int) and isinstance(seq, int):
+            # Same direct sample a probe ack would have produced.
+            self.estimator.record(sender, ref, seq)
+        if isinstance(self.estimator, GossipDistanceEstimator):
+            self.estimator.merge(
+                sender, payload.get("vec", ()), payload.get("inc", 0)
+            )
 
     # ------------------------------------------------------------------
     # Client path and batching
@@ -837,7 +1012,13 @@ class LyraNode(SimProcess):
             self.timers.set(
                 "probe-refresh", self.config.probe_refresh_us, self._probe_refresh
             )
-        self._send_probe()  # distance estimates are stale
+        # Distance estimates are stale: probe mode re-broadcasts once;
+        # gossip mode schedules a full re-estimation burst (peers that see
+        # our bumped incarnation drop their stale entries for us too).
+        if self.config.distance_mode == "gossip":
+            self._schedule_gossip_rounds(self.config.gossip_rounds)
+        else:
+            self._send_probe()
         # State transfer: suspend the commit rule and pull the committed
         # prefix from peers until a quorum confirms we have caught up.
         self._catchup_votes.clear()
@@ -966,8 +1147,14 @@ __all__ = [
     "LyraNode",
     "LyraConfig",
     "NodeStats",
+    "DISTANCE_MODES",
+    "DEFAULT_WARMUP_ROUNDS",
+    "DEFAULT_WARMUP_SPACING_US",
+    "warmup_duration_us",
     "PROBE_KIND",
     "PROBE_ACK_KIND",
+    "GDIST_KIND",
+    "GDIST_ACK_KIND",
     "CLIENT_TX_KIND",
     "CLIENT_REPLY_KIND",
     "CATCHUP_REQ_KIND",

@@ -15,7 +15,9 @@ import time
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.clocks import true_distance_us
 from repro.core.commit import CommitConfig
+from repro.core.gossip_distance import GossipDistanceEstimator
 from repro.core.node import LyraConfig, LyraNode
 from repro.core.obfuscation import make_obfuscation
 from repro.core.smr import check_output_sorted, check_prefix_consistency
@@ -193,6 +195,11 @@ class LyraCluster:
                 status_interval_us=config.status_interval_us,
                 warmup_rounds=config.warmup_rounds,
                 warmup_spacing_us=config.warmup_spacing_us,
+                distance_mode=config.distance_mode,
+                gossip_fanout=config.gossip_fanout,
+                gossip_rounds=config.gossip_rounds,
+                gossip_spacing_us=config.gossip_spacing_us,
+                gossip_seed=config.seed,
                 obfuscation=config.obfuscation,
                 costs=costs,
                 clock_skew_us=int(
@@ -235,7 +242,11 @@ class LyraCluster:
         # Network.  The latency model is backend-selected: uniform links
         # (jitter-free, analytically checkable) are shared, the geo matrix
         # gets the scalar or numpy-batched jitter implementation.
-        latency = make_latency_model(config, self.topology.placement, self.rng)
+        # Kept on the cluster: ``base_us`` is the jitter-free ground truth
+        # the distance-estimator error metrics are measured against.
+        self.latency = latency = make_latency_model(
+            config, self.topology.placement, self.rng
+        )
         adversary = (
             PartialSynchronyAdversary(
                 config.gst_us,
@@ -294,9 +305,12 @@ class LyraCluster:
                 if client.home not in self.local_pids:
                     # Remote clients exist (identical pid/RNG layout on
                     # every worker) but generate no traffic here: their
-                    # sends drop at the crashed check.  Their RNG streams
-                    # are per-client, so the neutering perturbs nothing.
-                    client.crashed = True
+                    # sends drop at the crashed check, and neuter()
+                    # additionally cancels their pending timer events so
+                    # the worker's event count carries no phantom client
+                    # ticks.  Their RNG streams are per-client, so the
+                    # neutering perturbs nothing.
+                    client.neuter()
         if plan is not None:
             for ev in plan.crashes:
                 if self.local_pids is not None and ev.pid not in self.local_pids:
@@ -330,6 +344,10 @@ class LyraCluster:
                 )
             self.metrics.add_source("cache", self._cache_source)
             self.metrics.add_source("workload", self.workload.metrics_source)
+            # Estimator error vs the latency model's ground truth (works
+            # for both distance modes; per-node estimator health is
+            # registered by ``LyraNode.enable_metrics`` itself).
+            self.metrics.add_source("distance", self.distance_error_stats)
 
         # Always-on invariant watchdog: prefix agreement, commit
         # regression, ordered output, and post-GST liveness.  A shard
@@ -422,6 +440,89 @@ class LyraCluster:
         return out
 
     # ------------------------------------------------------------------
+    # Distance-estimation accounting (tentpole: gossip estimator)
+    # ------------------------------------------------------------------
+    def _distance_error_values(self) -> Tuple[int, List[float]]:
+        """``(pairs_total, per-pair abs errors)`` of every local node's
+        estimator vs the latency-model ground truth; pairs with no
+        estimate yet are counted in the total but contribute no error."""
+        errors: List[float] = []
+        pairs_total = 0
+        for node in self.local_nodes():
+            for peer in self.nodes:
+                if peer.pid == node.pid:
+                    continue
+                pairs_total += 1
+                est = node.estimator.distance(peer.pid)
+                if est is None:
+                    continue
+                truth = true_distance_us(
+                    node.clock,
+                    peer.clock,
+                    self.latency.base_us(node.pid, peer.pid),
+                )
+                errors.append(abs(float(est) - truth))
+        return pairs_total, errors
+
+    def distance_error_stats(self) -> Dict[str, float]:
+        """Per-pair absolute estimator error vs ground truth.
+
+        Ground truth for pair (i, j) is the jitter-free one-way base
+        latency plus the constant skew difference
+        (:func:`repro.core.clocks.true_distance_us`).  Post-run, read-only
+        — never perturbs RNG streams or event schedules.
+        """
+        pairs_total, errors = self._distance_error_values()
+        out: Dict[str, float] = {
+            "pairs_total": float(pairs_total),
+            "pairs_estimated": float(len(errors)),
+        }
+        if errors:
+            ordered = sorted(errors)
+            out["abs_error_us_mean"] = float(statistics.fmean(errors))
+            out["abs_error_us_p50"] = float(ordered[len(ordered) // 2])
+            out["abs_error_us_p99"] = float(
+                ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+            )
+            out["abs_error_us_max"] = float(ordered[-1])
+        return out
+
+    def gossip_distance_stats(self) -> Dict[str, float]:
+        """Aggregated epidemic-estimator wire accounting.
+
+        ``max_requests_per_round`` over all nodes is the O(n·fanout)
+        witness: no node ever contacts more than ``gossip_fanout`` peers
+        in one round, so a round costs at most n·fanout messages.
+        """
+        per_node = [
+            node.estimator.gossip_stats()
+            for node in self.local_nodes()
+            if isinstance(node.estimator, GossipDistanceEstimator)
+        ]
+        if not per_node:
+            return {}
+        converged = [
+            s["converged_round"] for s in per_node if s["converged_round"] >= 0
+        ]
+        return {
+            "fanout": self.config.gossip_fanout,
+            "nodes": len(per_node),
+            "rounds_started": sum(s["rounds_started"] for s in per_node),
+            "requests_sent": sum(s["requests_sent"] for s in per_node),
+            "max_requests_per_round": max(
+                s["max_requests_per_round"] for s in per_node
+            ),
+            "vectors_merged": sum(s["vectors_merged"] for s in per_node),
+            "entries_merged": sum(s["entries_merged"] for s in per_node),
+            "stale_entries_dropped": sum(
+                s["stale_entries_dropped"] for s in per_node
+            ),
+            "converged_nodes": len(converged),
+            "max_converged_round": max(converged) if converged else -1,
+            "min_coverage": min(s["coverage"] for s in per_node),
+        }
+
+    # ------------------------------------------------------------------
     def run(self, *, skip_safety_check: bool = False) -> ExperimentResult:
         """Run the configured duration and consolidate measurements."""
         cfg = self.config
@@ -510,7 +611,16 @@ class LyraCluster:
         if self.dissemination is not None:
             result.wire_stats = dict(result.wire_stats)
             result.wire_stats["dissemination"] = self.dissemination.stats_dict()
+        if cfg.distance_mode == "gossip":
+            result.wire_stats = dict(result.wire_stats)
+            result.wire_stats["gossip_distance"] = self.gossip_distance_stats()
+            result.wire_stats["distance_error"] = self.distance_error_stats()
         if self.metrics is not None:
+            # End-of-run estimator accuracy: per-pair abs errors land in a
+            # registry histogram (p50/p99 via the shared summary path).
+            self.metrics.histogram("distance", "abs_error_us").observe_many(
+                self._distance_error_values()[1]
+            )
             snap = self.metrics.snapshot()
             link = self.network.link_stats()
             if link:

@@ -6,6 +6,16 @@ import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.gossip_distance import (
+    DEFAULT_GOSSIP_FANOUT,
+    DEFAULT_GOSSIP_ROUNDS,
+)
+from repro.core.node import (
+    DEFAULT_WARMUP_ROUNDS,
+    DEFAULT_WARMUP_SPACING_US,
+    DISTANCE_MODES,
+    warmup_duration_us,
+)
 from repro.net.faults import FaultPlan
 from repro.net.topology import EVAL_REGIONS
 from repro.sim.engine import MILLISECONDS, SECONDS
@@ -60,8 +70,25 @@ class ExperimentConfig:
     obfuscation: str = "vss"
     check_dealing: bool = True
     status_interval_us: int = 25 * MILLISECONDS
-    warmup_rounds: int = 4
-    warmup_spacing_us: int = 200 * MILLISECONDS
+    #: Warm-up defaults come from ``repro.core.node`` — the single source
+    #: of truth shared with ``LyraConfig``, so direct core users and
+    #: harness users agree on when warm-up ends (they used to diverge:
+    #: 150 ms vs 200 ms).
+    warmup_rounds: int = DEFAULT_WARMUP_ROUNDS
+    warmup_spacing_us: int = DEFAULT_WARMUP_SPACING_US
+    #: Distance learning: ``"probe"`` (§IV-B1 all-to-all warm-up, the
+    #: default — bit-identical to the checked-in digest oracles) or
+    #: ``"gossip"`` (epidemic constant-fan-out estimation, O(n·fanout)
+    #: messages per round; see :mod:`repro.core.gossip_distance`).
+    #: Resolved per node at ``build_cluster`` time like ``backend``.
+    distance_mode: str = "probe"
+    #: Peers each node contacts per gossip round (gossip mode only).
+    gossip_fanout: int = DEFAULT_GOSSIP_FANOUT
+    #: Warm-up gossip rounds — the convergence/accuracy budget the
+    #: distance-error ablation sweeps.
+    gossip_rounds: int = DEFAULT_GOSSIP_ROUNDS
+    #: Spacing between gossip rounds.
+    gossip_spacing_us: int = 50 * MILLISECONDS
     clock_skew_max_us: int = 20 * MILLISECONDS
 
     # Workload.
@@ -139,6 +166,19 @@ class ExperimentConfig:
             )
         if self.fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.distance_mode not in DISTANCE_MODES:
+            raise ValueError(
+                f"unknown distance_mode {self.distance_mode!r}: "
+                f"expected one of {DISTANCE_MODES}"
+            )
+        if self.gossip_fanout < 1:
+            raise ValueError(
+                f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+            )
+        if self.gossip_rounds < 1:
+            raise ValueError(
+                f"gossip_rounds must be >= 1, got {self.gossip_rounds}"
+            )
 
     def resolved_f(self) -> int:
         if self.f is not None:
@@ -148,8 +188,13 @@ class ExperimentConfig:
         return max(0, (self.n_nodes - 1) // 3)
 
     def client_start_us(self) -> int:
-        """Clients start once distance warm-up has converged."""
-        return self.warmup_rounds * self.warmup_spacing_us + 2 * self.warmup_spacing_us
+        """Clients start once distance warm-up has converged.
+
+        Delegates to :func:`repro.core.node.warmup_duration_us` so the
+        harness gate and ``LyraConfig.warmup_duration_us`` can never
+        drift apart again.
+        """
+        return warmup_duration_us(self.warmup_rounds, self.warmup_spacing_us)
 
     def measurement_start_us(self) -> int:
         if self.measure_after_us is not None:

@@ -98,6 +98,13 @@ class InvariantWatchdog:
         self.gst_us = gst_us
         self.stall_window_us = stall_window_us
         self.report = InvariantReport()
+        #: Periodic ``_tick`` events processed so far.  Distinct from
+        #: ``report.checks_run`` (which also counts explicit
+        #: ``check_now`` calls): shard workers each run their own tick
+        #: chain over the same horizon, and the coordinator subtracts the
+        #: duplicate chains from the summed event count so sharded runs
+        #: report the same ``events_processed`` as single-process ones.
+        self.ticks = 0
         self._last_logs: Dict[int, List[Tuple[int, bytes]]] = {}
         self._last_progress_us = 0
         self._last_total_committed = 0
@@ -117,6 +124,7 @@ class InvariantWatchdog:
         self.sim.schedule(self.interval_us, self._tick)
 
     def _tick(self) -> None:
+        self.ticks += 1
         self.check_now()
         self.sim.schedule(self.interval_us, self._tick)
 

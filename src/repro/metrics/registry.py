@@ -92,6 +92,13 @@ class Histogram:
             self._samples[self._pos] = value
             self._pos = (self._pos + 1) % self._cap
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Bulk-observe a batch (one snapshot of per-pair estimator
+        errors, a drained latency buffer): same semantics as observing
+        each value in order, one call on the instrumentation site."""
+        for value in values:
+            self.observe(value)
+
     @property
     def samples(self) -> List[float]:
         return list(self._samples)
@@ -130,6 +137,9 @@ class _NullHistogram:
     __slots__ = ()
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Sequence[float]) -> None:
         pass
 
 

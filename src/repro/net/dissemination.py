@@ -65,6 +65,25 @@ GOSSIP_HEADER_BYTES = 24
 DISSEMINATION_STRATEGIES = ("all2all", "tree", "gossip")
 
 
+def seeded_sample(token: bytes, pool: List[int], k: int) -> List[int]:
+    """``k`` distinct elements of ``pool``, a pure function of ``token``.
+
+    sha256 of the token seeds a 64-bit LCG walk over the shrinking pool:
+    deterministic, cheap, and unbiased enough for peer sampling.  Because
+    the draw consumes no shared RNG stream, every worker — and every shard
+    layout — computes the same sample, which is what keeps gossip runs
+    bit-deterministic and shard-invariant.  ``pool`` is consumed in place.
+    """
+    if len(pool) <= k:
+        return pool
+    x = int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+    chosen: List[int] = []
+    for _ in range(k):
+        x = (x * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        chosen.append(pool.pop(x % len(pool)))
+    return chosen
+
+
 def make_dissemination(
     name: str, *, fanout: int, seed: int = 0
 ) -> Optional["Dissemination"]:
@@ -252,18 +271,8 @@ class GossipDissemination(Dissemination):
         consuming any shared RNG stream.
         """
         pool = [p for p in replicas if p != relay and p != origin]
-        k = self.fanout
-        if len(pool) <= k:
-            return pool
         token = f"{self.seed}|{origin}|{seq}|{relay}".encode()
-        x = int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
-        chosen: List[int] = []
-        for _ in range(k):
-            # 64-bit LCG walk over the shrinking pool: deterministic,
-            # cheap, and unbiased enough for peer sampling.
-            x = (x * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
-            chosen.append(pool.pop(x % len(pool)))
-        return chosen
+        return seeded_sample(token, pool, self.fanout)
 
     def broadcast(
         self, net: "Network", src: int, message: Message, include_self: bool
@@ -332,6 +341,7 @@ __all__ = [
     "TreeDissemination",
     "GossipDissemination",
     "make_dissemination",
+    "seeded_sample",
     "TREE_KIND",
     "GOSSIP_KIND",
 ]

@@ -38,7 +38,8 @@ Canonical same-instant order
 Every worker builds the **full** cluster — identical construction-time
 RNG draws, keys, topology and client placement on every process — then
 starts only its local replicas; remote replicas stay inert and remote
-clients are neutered (``crashed=True`` drops their sends).  Per-entity
+clients are neutered (their sends drop silently and their timer chains
+are cancelled, so they contribute zero processed events).  Per-entity
 RNG streams (per-node, per-client, per-source jitter, per-link faults)
 make the partition exact: a worker draws only the streams its local
 senders own.
@@ -315,6 +316,7 @@ def _consolidate(cluster, local_nodes: set) -> Dict[str, Any]:
             (n.commit.accepted_count for n in nodes if n.commit), default=0
         ),
         "invariant_checks": cluster.watchdog.report.checks_run,
+        "watchdog_ticks": cluster.watchdog.ticks,
         "invariant_violations": [
             v.render() for v in cluster.watchdog.report.violations
         ],
@@ -559,6 +561,17 @@ def _merge(config, blobs: List[Dict[str, Any]], wall_s: float):
                     if key in ("strategy", "fanout"):
                         continue
                     dissemination[key] = dissemination.get(key, 0) + value
+    # Every worker runs its own watchdog tick chain over the same horizon
+    # — the one per-cluster timer that cannot be partitioned by owner.
+    # The chains are identical by construction (same interval, same
+    # lockstep barrier schedule), so the summed event count carries
+    # ``n_workers − 1`` duplicate chains; drop them so the merged
+    # ``events_processed`` equals the single-process run's exactly.
+    # (Remote clients contribute zero events: ``neuter()`` cancels their
+    # timer chains at build time.)
+    ticks = [blob.get("watchdog_ticks", 0) for blob in blobs]
+    if ticks:
+        result.events_processed -= sum(ticks) - max(ticks)
     result.fault_stats = fault_stats
     if wire_stats:
         frames = wire_stats.get("frames_sent", 0)

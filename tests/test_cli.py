@@ -81,3 +81,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "proposed->decided" in out
         assert "total" in out
+
+
+class TestDistanceCli:
+    def test_distance_subcommand_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "ABLATION_distance_error.json")
+        assert (
+            main(
+                [
+                    "distance",
+                    "--n",
+                    "4",
+                    "--seed",
+                    "3",
+                    "--rounds",
+                    "2",
+                    "--out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "DIST" in out
+        assert "lambda_failure_rate" in out
+        blob = json.loads(open(path).read())
+        rows = blob["rows"]
+        # One probe baseline row plus the swept gossip budget.
+        assert [r["mode"] for r in rows] == ["probe", "gossip"]
+        assert rows[1]["rounds"] == 2
+        assert rows[1]["converged_nodes"] == 4

@@ -111,12 +111,33 @@ class TestDistanceEstimator:
         assert preds[0] == 1000
 
     def test_coverage_and_ready(self):
+        # Coverage is over *peers*: the always-present self entry (the
+        # 0.0 anchor) must not count toward readiness.
         est = DistanceEstimator(4, self_pid=0)
-        assert est.coverage() == 0.25  # self only
+        assert est.coverage() == 0.0
+        assert est.peers_measured() == 0
         est.record(1, 0, 10)
         est.record(2, 0, 10)
+        assert est.peers_measured() == 2
+        assert est.coverage() == pytest.approx(2 / 3)
+        assert est.ready(2)
+        assert not est.ready(3)
+        est.record(3, 0, 10)
+        assert est.coverage() == 1.0
         assert est.ready(3)
-        assert not est.ready(4)
+
+    def test_self_samples_rejected(self):
+        # A peer==self sample must not disturb the exact 0.0 anchor that
+        # predict() relies on, nor inflate coverage.
+        est = DistanceEstimator(4, self_pid=0)
+        est.record(0, 0, 500)
+        assert est.distance(0) == 0.0
+        assert est.coverage() == 0.0
+
+    def test_single_node_cluster_coverage(self):
+        est = DistanceEstimator(1, self_pid=0)
+        assert est.coverage() == 1.0  # no peers to measure
+        assert est.ready(0)
 
     def test_out_of_range_peer_ignored(self):
         est = DistanceEstimator(4, self_pid=0)

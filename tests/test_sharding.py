@@ -148,6 +148,10 @@ def test_goodcase_sharded_bit_identical(seed):
     assert sharded.digest() == single.digest()
     assert sharded.result.committed_count == single.result.committed_count
     assert sharded.result.executed_total == single.result.executed_total
+    # Full event-count parity: remote clients are neutered with their
+    # timer chains cancelled and the duplicate per-worker watchdog tick
+    # chains are subtracted at merge time.
+    assert sharded.result.events_processed == single.result.events_processed
     assert sharded.barriers > 0 and sharded.frames_exchanged > 0
 
 
@@ -158,6 +162,7 @@ def test_chaos_sharded_bit_identical():
     # sender-side, so the partition must stay exact.
     single, sharded = _pair(_chaos_config(), 2)
     assert sharded.digest() == single.digest()
+    assert sharded.result.events_processed == single.result.events_processed
     assert sharded.result.safety_violation is None
     assert not sharded.result.invariant_violations
 
@@ -285,9 +290,15 @@ class TestBenchGates:
         from repro.bench.suite import check_sharding
 
         macro = {
-            "cell": {"prefix_sha256": "aa", "committed": 5, "executed_total": 9},
+            "cell": {
+                "prefix_sha256": "aa",
+                "events": 100,
+                "committed": 5,
+                "executed_total": 9,
+            },
             "cell_sharded": {
                 "prefix_sha256": "aa",
+                "events": 100,
                 "committed": 5,
                 "executed_total": 9,
                 "shards": 2,
@@ -299,9 +310,15 @@ class TestBenchGates:
         from repro.bench.suite import check_sharding
 
         macro = {
-            "cell": {"prefix_sha256": "aa", "committed": 5, "executed_total": 9},
+            "cell": {
+                "prefix_sha256": "aa",
+                "events": 100,
+                "committed": 5,
+                "executed_total": 9,
+            },
             "cell_sharded": {
                 "prefix_sha256": "bb",
+                "events": 103,
                 "committed": 4,
                 "executed_total": 9,
                 "shards": 2,
@@ -310,6 +327,7 @@ class TestBenchGates:
         failures = check_sharding(self._report(macro))
         assert any("digest" in f for f in failures)
         assert any("committed" in f for f in failures)
+        assert any("events" in f for f in failures)
 
     def test_check_sharding_requires_a_pair(self):
         from repro.bench.suite import check_sharding
